@@ -1,0 +1,82 @@
+"""Figure 12: MacroBase threshold-query runtimes.
+
+Runs the Section 7.2.1 query (subpopulations whose 70th percentile exceeds
+the global 99th percentile) over a milan-like cube with each strategy:
+the moments sketch with no cascade / +simple / +Markov / +RTT, plus the
+Merge12a (merge-during-query) and Merge12b (precomputed counters)
+baselines.  Reproduction targets: every added cascade stage cuts runtime;
+the full cascade beats both Merge12 baselines.
+"""
+
+import numpy as np
+
+from repro.macrobase import (
+    MacroBaseEngine,
+    MomentsCube,
+    merge12a_query,
+    merge12b_query,
+)
+
+from _harness import print_table, run_once, scaled
+
+STAGE_LADDER = [
+    ("Baseline", ()),
+    ("+Simple", ("simple",)),
+    ("+Markov", ("simple", "markov")),
+    ("+RTT", ("simple", "markov", "rtt")),
+]
+
+
+def _workload(n):
+    rng = np.random.default_rng(0)
+    grid = rng.integers(0, 500, n)
+    # The hot subgroup must hold well under 1/30 of the rows, otherwise a
+    # 30x outlier-rate ratio is arithmetically impossible.
+    country = rng.choice(["IT", "FR", "DE", "AT", "CH"], n,
+                         p=[0.25, 0.25, 0.25, 0.23, 0.02])
+    from repro.datasets import load
+    values = np.asarray(load("milan", n)).copy()
+    hot = (country == "CH") & (rng.random(n) < 0.8)
+    values[hot] = values[hot] * 40.0 + 500.0
+    return [grid, country], values
+
+
+def test_fig12_macrobase_runtime(benchmark):
+    dims, values = _workload(scaled(250_000))
+
+    def experiment():
+        rows = []
+        totals = {}
+        found = {}
+        cube = MomentsCube.build(dims, values, k=10)
+        for label, stages in STAGE_LADDER:
+            engine = MacroBaseEngine(cube, cascade_stages=stages)
+            report = engine.find_outlier_groups(outlier_phi=0.99,
+                                                rate_multiplier=30.0)
+            rows.append([label, report.merge_seconds,
+                         report.estimation_seconds, report.total_seconds,
+                         len(report.groups)])
+            totals[label] = report.total_seconds
+            found[label] = {(g.dimension, g.value) for g in report.groups}
+        for label, query in (("Merge12a", merge12a_query),
+                             ("Merge12b", merge12b_query)):
+            report = query(dims, values)
+            rows.append([label, report.merge_seconds,
+                         report.estimation_seconds, report.total_seconds,
+                         len(report.groups)])
+            totals[label] = report.total_seconds
+        return rows, totals, found
+
+    rows, totals, found = run_once(benchmark, experiment)
+    print_table("Figure 12: MacroBase query runtime by strategy",
+                ["strategy", "merge (s)", "estimation (s)", "total (s)",
+                 "groups found"], rows)
+
+    # Cascade stages must strictly help estimation cost...
+    assert totals["+Markov"] < totals["Baseline"]
+    assert totals["+RTT"] <= totals["+Markov"] * 1.2
+    # ...without changing the answer, and the planted hot country is found.
+    assert found["Baseline"] == found["+RTT"]
+    assert any(value == "CH" for _, value in found["+RTT"])
+    # And the full cascade beats the Merge12 merge-during-query baseline.
+    assert totals["+RTT"] < totals["Merge12a"]

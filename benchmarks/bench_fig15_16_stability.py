@@ -1,0 +1,84 @@
+"""Figures 15 and 16 (Appendix B): floating-point stability of moments.
+
+Figure 15: the Eq. 21 bound on the highest usable moment order versus the
+empirically observed stable order for uniform data centered at offset c.
+The bound must be conservative (never above the empirical order).
+
+Figure 16: precision loss when converting power sums to Chebyshev moments
+on the hepmass (centered, c ~ 0.4) and occupancy (offset, c ~ 1.5)
+stand-ins — the offset dataset must lose more precision.
+"""
+
+import numpy as np
+
+from repro.core.moments import (
+    ScaledSupport,
+    max_stable_order,
+    power_sums_to_chebyshev_moments,
+    raw_moments,
+    shifted_scaled_moments,
+    stable_order_empirical,
+)
+from repro.datasets import load
+
+from _harness import print_table, run_once, scaled
+
+OFFSETS = (0.0, 1.0, 2.0, 4.0, 8.0)
+
+
+def _empirical_stable_order(center_offset: float, order: int = 32) -> int:
+    rng = np.random.default_rng(3)
+    data = rng.uniform(center_offset - 1.0, center_offset + 1.0, 200_000)
+    sums = np.stack([np.sum(data ** i) for i in range(order + 1)])
+    support = ScaledSupport(float(data.min()), float(data.max()))
+    scaled_mu = shifted_scaled_moments(raw_moments(sums, data.size), support)
+    return stable_order_empirical(scaled_mu)
+
+
+def test_fig15_stable_order_bound(benchmark):
+    def experiment():
+        rows = []
+        for offset in OFFSETS:
+            bound = max_stable_order(offset)
+            empirical = _empirical_stable_order(offset)
+            rows.append([offset, bound, empirical])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("Figure 15: usable moment order vs center offset c",
+                ["offset c", "Eq. 21 bound", "empirical stable order"], rows)
+    for offset, bound, empirical in rows:
+        assert bound <= empirical + 1, f"bound must be conservative at c={offset}"
+    bounds = [row[1] for row in rows]
+    assert bounds == sorted(bounds, reverse=True)
+
+
+def _chebyshev_precision_loss(data: np.ndarray, order: int) -> np.ndarray:
+    """|Chebyshev moments from power sums - directly computed| per order."""
+    support = ScaledSupport(float(data.min()), float(data.max()))
+    sums = np.stack([np.sum(data ** i) for i in range(order + 1)])
+    from_sums = power_sums_to_chebyshev_moments(sums, data.size, support)
+    u = support.scale(data)
+    direct = np.asarray([np.mean(np.cos(i * np.arccos(np.clip(u, -1, 1))))
+                         for i in range(order + 1)])
+    return np.abs(from_sums - direct)
+
+
+def test_fig16_precision_loss(benchmark, hepmass_data):
+    occupancy = np.asarray(load("occupancy", 20_000))
+    hepmass = hepmass_data[:scaled(50_000)]
+
+    def experiment():
+        orders = range(2, 17, 2)
+        hep = _chebyshev_precision_loss(hepmass, 16)
+        occ = _chebyshev_precision_loss(occupancy, 16)
+        rows = [[k, hep[k], occ[k]] for k in orders]
+        return rows, hep, occ
+
+    rows, hep, occ = run_once(benchmark, experiment)
+    print_table("Figure 16: Chebyshev-moment precision loss",
+                ["order k", "hepmass (c~0.4)", "occupancy (c~1.5)"], rows)
+    # The offset dataset loses orders of magnitude more precision at high k.
+    assert occ[16] > 10 * hep[16]
+    # Both remain usable at the paper's default k = 10.
+    assert hep[10] < 1e-6 and occ[10] < 1e-3

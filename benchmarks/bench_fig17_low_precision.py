@@ -1,0 +1,64 @@
+"""Figure 17 (Appendix C): accuracy of low-precision moments sketches.
+
+Pre-aggregates many cells, stores each sketch's sums with randomized
+rounding at reduced significand precision, merges everything, and measures
+quantile accuracy as the bits-per-value budget shrinks.  Reproduction
+targets: accuracy holds down to a modest bit budget and then degrades, and
+higher moment orders need more bits (k=6 survives lower budgets than
+k=12).
+"""
+
+import numpy as np
+
+from repro.core import MomentsSketch, merge_all, safe_estimate_quantiles
+from repro.core.encoding import quantize
+from repro.workload import PHI_GRID, quantile_errors
+
+from _harness import print_table, run_once, scaled
+
+#: Total bits per value: 1 sign + 11 exponent + mantissa (the quantize()
+#: fast path keeps the full exponent; see encoding.LowPrecisionCodec for
+#: the packed format whose narrower exponent fields subtract further bits).
+MANTISSA_BITS = (4, 8, 16, 28, 40, 52)
+ORDERS = (6, 10, 12)
+
+
+def _low_precision_error(data, k, mantissa_bits, rng):
+    cells = []
+    for start in range(0, data.size, 200):
+        sketch = MomentsSketch.from_data(data[start:start + 200], k=k)
+        sketch.power_sums[1:] = quantize(sketch.power_sums[1:], mantissa_bits, rng)
+        sketch.log_sums[1:] = quantize(sketch.log_sums[1:], mantissa_bits, rng)
+        cells.append(sketch)
+    merged = merge_all(cells)
+    estimates = safe_estimate_quantiles(merged, PHI_GRID)
+    return float(np.mean(quantile_errors(np.sort(data), estimates, PHI_GRID)))
+
+
+def test_fig17_low_precision(benchmark, milan_data):
+    data = milan_data[:scaled(40_000)]
+
+    def experiment():
+        rng = np.random.default_rng(0)
+        table = {}
+        for k in ORDERS:
+            table[k] = [
+                _low_precision_error(data, k, bits, rng)
+                for bits in MANTISSA_BITS
+            ]
+        return table
+
+    table = run_once(benchmark, experiment)
+    rows = [[f"k={k}"] + errors for k, errors in table.items()]
+    print_table("Figure 17 (milan): eps_avg vs bits of significand "
+                "(total bits/value = mantissa + 12)",
+                ["sketch"] + [f"{b}b" for b in MANTISSA_BITS], rows)
+
+    for k in ORDERS:
+        errors = table[k]
+        # Full precision is accurate; moderate precision (16-bit mantissa,
+        # ~28 bits/value) is indistinguishable from it.
+        assert errors[-1] < 0.02
+        assert errors[2] < errors[-1] + 0.01
+        # Severe truncation degrades accuracy.
+        assert errors[0] > errors[-1] or errors[0] > 0.02

@@ -1,0 +1,71 @@
+"""Figure 20 (Appendix D.3): merge time with coarser pre-aggregation.
+
+Rebuilds the Figure 4 merge measurement with cells of 2000 elements (and a
+Gaussian workload at 10000 per cell).  Reproduction target: the moments
+sketch's per-merge time is unchanged by cell size (its state is
+data-independent) while the capacity-bound summaries get slower because
+their per-cell summaries are now full-sized.
+"""
+
+import numpy as np
+import pytest
+
+from repro.summaries import (
+    GKSummary,
+    Merge12Summary,
+    MomentsSummary,
+    SamplingSummary,
+    TDigestSummary,
+)
+from repro.workload import build_cells, time_merges
+
+from _harness import print_table, run_once, scaled
+
+FACTORIES = {
+    "M-Sketch": lambda: MomentsSummary(k=10),
+    "Merge12": lambda: Merge12Summary(k=32, seed=0),
+    "GK": lambda: GKSummary(epsilon=1 / 50),
+    "T-Digest": lambda: TDigestSummary(delta=100.0),
+    "Sampling": lambda: SamplingSummary(capacity=1000, seed=0),
+}
+
+
+def _per_merge_times(data, cell_size):
+    return {name: time_merges(build_cells(data, factory, cell_size=cell_size))
+            for name, factory in FACTORIES.items()}
+
+
+def test_fig20_cell_size_2000(benchmark, milan_data):
+    data = milan_data[:scaled(80_000)]
+
+    def experiment():
+        small = _per_merge_times(data, 200)
+        large = _per_merge_times(data, 2000)
+        return small, large
+
+    small, large = run_once(benchmark, experiment)
+    rows = [[name, small[name] * 1e6, large[name] * 1e6]
+            for name in FACTORIES]
+    print_table("Figure 20 (milan): per-merge time (us) by cell size",
+                ["summary", "cells of 200", "cells of 2000"], rows)
+
+    # M-Sketch per-merge cost is cell-size independent (within noise)...
+    assert large["M-Sketch"] < small["M-Sketch"] * 3
+    # ...and remains the fastest at the coarser pre-aggregation.
+    others = [v for k, v in large.items() if k != "M-Sketch"]
+    assert large["M-Sketch"] < min(others)
+
+
+def test_fig20_gaussian_10000(benchmark):
+    rng = np.random.default_rng(0)
+    data = rng.normal(0, 1, scaled(200_000))
+
+    def experiment():
+        return _per_merge_times(data, 10_000)
+
+    times = run_once(benchmark, experiment)
+    rows = [[name, value * 1e6] for name, value in times.items()]
+    print_table("Figure 20 (gaussian): per-merge time (us), cells of 10000",
+                ["summary", "per-merge (us)"], rows)
+    others = [v for k, v in times.items() if k != "M-Sketch"]
+    assert times["M-Sketch"] < min(others)

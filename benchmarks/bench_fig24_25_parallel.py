@@ -1,0 +1,60 @@
+"""Figures 24-25 (Appendix F): parallel merge scaling.
+
+Shards pre-aggregated cells across worker threads (strong scaling: fixed
+total work; weak scaling: fixed work per thread).  Reproduction targets:
+the moments sketch stays faster than Merge12 at every thread count, and
+weak scaling holds throughput roughly flat per thread.
+
+Caveat recorded in EXPERIMENTS.md: Python threads only overlap inside
+numpy kernels, so absolute speedups are muted compared to the paper's
+Java measurements; orderings are the reproduction target.
+"""
+
+import numpy as np
+
+from repro.summaries import Merge12Summary, MomentsSummary
+from repro.workload import build_cells, strong_scaling, weak_scaling
+
+from _harness import print_table, run_once, scaled
+
+THREADS = (1, 2, 4, 8)
+
+
+def test_fig24_strong_scaling(benchmark, milan_data):
+    data = milan_data[:scaled(100_000)]
+    moments = build_cells(data, lambda: MomentsSummary(k=10), 200).summaries
+    merge12 = build_cells(data, lambda: Merge12Summary(k=32, seed=0), 200).summaries
+
+    def experiment():
+        return {
+            "M-Sketch": strong_scaling(moments, THREADS),
+            "Merge12": strong_scaling(merge12, THREADS),
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = [[name] + [r.merges_per_second for r in series]
+            for name, series in results.items()]
+    print_table("Figure 24: strong scaling, merges/s by thread count",
+                ["summary"] + [f"{t} thr" for t in THREADS], rows)
+    for i, threads in enumerate(THREADS):
+        assert (results["M-Sketch"][i].merges_per_second
+                > results["Merge12"][i].merges_per_second), threads
+
+
+def test_fig25_weak_scaling(benchmark, milan_data):
+    data = milan_data[:scaled(100_000)]
+    moments = build_cells(data, lambda: MomentsSummary(k=10), 200).summaries
+    per_thread = max(len(moments), 200)
+
+    def experiment():
+        return weak_scaling(moments, THREADS, merges_per_thread=per_thread)
+
+    series = run_once(benchmark, experiment)
+    rows = [[r.threads, r.num_merges, r.merges_per_second] for r in series]
+    print_table("Figure 25: weak scaling (M-Sketch)",
+                ["threads", "merges", "merges/s"], rows)
+    # Moments-sketch merges are microsecond-scale Python calls, so the GIL
+    # caps parallel speedup well below the paper's Java scaling; the weak-
+    # scaling property asserted here is that throughput does not collapse
+    # as total work grows with the thread count.
+    assert series[-1].merges_per_second > series[0].merges_per_second / 10

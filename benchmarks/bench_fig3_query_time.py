@@ -1,0 +1,99 @@
+"""Figure 3: total query time at comparable (eps_avg <= .01) accuracy.
+
+Builds per-cell summaries at the Table 2 parameter choices, merges every
+cell, estimates 21 quantiles, and reports the total-time decomposition.
+The headline reproduction target: M-Sketch total query time is the lowest
+of the accurate summaries by an order of magnitude, because merge time
+dominates at hundreds-plus of cells.
+"""
+
+import numpy as np
+
+from repro.summaries import (
+    EquiWidthHistogramSummary,
+    GKSummary,
+    Merge12Summary,
+    MomentsSummary,
+    RandomSummary,
+    SamplingSummary,
+    StreamingHistogramSummary,
+    TDigestSummary,
+)
+from repro.workload import build_cells, run_query
+
+from _harness import print_table, run_once, scaled
+
+#: Table 2's parameter choices (paper values; EW-Hist/S-Hist at 100 bins
+#: are the paper's "for comparison" entries that do NOT reach the target
+#: on milan).
+FACTORIES = {
+    "milan": {
+        "M-Sketch": lambda: MomentsSummary(k=10),
+        "Merge12": lambda: Merge12Summary(k=32, seed=0),
+        "RandomW": lambda: RandomSummary(buffer_size=256, seed=0),
+        "GK": lambda: GKSummary(epsilon=1 / 60),
+        "T-Digest": lambda: TDigestSummary(delta=100.0),
+        "Sampling": lambda: SamplingSummary(capacity=1000, seed=0),
+        "S-Hist": lambda: StreamingHistogramSummary(max_bins=100),
+        "EW-Hist": lambda: EquiWidthHistogramSummary(max_bins=100),
+    },
+    "hepmass": {
+        "M-Sketch": lambda: MomentsSummary(k=3),
+        "Merge12": lambda: Merge12Summary(k=32, seed=0),
+        "RandomW": lambda: RandomSummary(buffer_size=256, seed=0),
+        "GK": lambda: GKSummary(epsilon=1 / 40),
+        "T-Digest": lambda: TDigestSummary(delta=50.0),
+        "Sampling": lambda: SamplingSummary(capacity=1000, seed=0),
+        "S-Hist": lambda: StreamingHistogramSummary(max_bins=100),
+        "EW-Hist": lambda: EquiWidthHistogramSummary(max_bins=15),
+    },
+}
+
+
+def _figure3(data, factories, phis):
+    rows = []
+    timings = {}
+    for name, factory in factories.items():
+        cells = build_cells(np.asarray(data), factory, cell_size=200)
+        timing = run_query(cells, phis)
+        timings[name] = timing
+        rows.append([name, cells.num_cells,
+                     timing.merge_seconds * 1e3,
+                     timing.estimate_seconds * 1e3,
+                     timing.total_seconds * 1e3,
+                     timing.mean_error,
+                     timing.size_bytes])
+    return rows, timings
+
+
+def test_fig3_milan(benchmark, phi_grid):
+    from repro.datasets import load
+    # Enough cells (1000+) that merge time dominates, the regime Figure 3
+    # targets (the paper's milan run merges 406k cells).
+    data = np.asarray(load("milan", scaled(240_000)))
+    rows, timings = run_once(
+        benchmark, lambda: _figure3(data, FACTORIES["milan"], phi_grid))
+    print_table("Figure 3 (milan): query time at eps<=.01 params",
+                ["summary", "cells", "merge (ms)", "est (ms)", "total (ms)",
+                 "eps_avg", "size (B)"], rows)
+    # Reproduction targets: the moments sketch is accurate AND the fastest
+    # accurate summary overall.
+    moments = timings["M-Sketch"]
+    assert moments.mean_error <= 0.015
+    accurate = [t for n, t in timings.items()
+                if n != "M-Sketch" and t.mean_error <= 0.02]
+    assert accurate, "some comparison summary must be accurate"
+    assert moments.total_seconds < min(t.total_seconds for t in accurate)
+
+
+def test_fig3_hepmass(benchmark, hepmass_data, phi_grid):
+    data = hepmass_data[:scaled(60_000)]
+    rows, timings = run_once(
+        benchmark, lambda: _figure3(data, FACTORIES["hepmass"], phi_grid))
+    print_table("Figure 3 (hepmass): query time at eps<=.01 params",
+                ["summary", "cells", "merge (ms)", "est (ms)", "total (ms)",
+                 "eps_avg", "size (B)"], rows)
+    moments = timings["M-Sketch"]
+    assert moments.mean_error <= 0.015
+    merge12 = timings["Merge12"]
+    assert moments.merge_seconds < merge12.merge_seconds

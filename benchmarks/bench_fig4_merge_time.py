@@ -1,0 +1,88 @@
+"""Figure 4: per-merge latency vs summary size.
+
+pytest-benchmark measures the merge fold per summary type and size setting
+on the milan, hepmass, and exponential stand-ins.  Reproduction target:
+M-Sketch per-merge time is flat in its size range and the lowest among
+summaries of comparable accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.summaries import (
+    EquiWidthHistogramSummary,
+    GKSummary,
+    Merge12Summary,
+    MomentsSummary,
+    RandomSummary,
+    SamplingSummary,
+    StreamingHistogramSummary,
+    TDigestSummary,
+)
+from repro.workload import build_cells, merge_cells
+
+from _harness import scaled
+
+CASES = [
+    ("M-Sketch", "k=4", lambda: MomentsSummary(k=4)),
+    ("M-Sketch", "k=10", lambda: MomentsSummary(k=10)),
+    ("M-Sketch", "k=14", lambda: MomentsSummary(k=14)),
+    ("Merge12", "k=16", lambda: Merge12Summary(k=16, seed=0)),
+    ("Merge12", "k=64", lambda: Merge12Summary(k=64, seed=0)),
+    ("RandomW", "b=64", lambda: RandomSummary(buffer_size=64, seed=0)),
+    ("RandomW", "b=256", lambda: RandomSummary(buffer_size=256, seed=0)),
+    ("GK", "eps=1/50", lambda: GKSummary(epsilon=1 / 50)),
+    ("T-Digest", "d=100", lambda: TDigestSummary(delta=100.0)),
+    ("Sampling", "s=1000", lambda: SamplingSummary(capacity=1000, seed=0)),
+    ("S-Hist", "b=100", lambda: StreamingHistogramSummary(max_bins=100)),
+    ("EW-Hist", "b=100", lambda: EquiWidthHistogramSummary(max_bins=100)),
+]
+
+DATASETS = ["milan", "hepmass", "exponential"]
+
+
+@pytest.fixture(scope="module")
+def cell_sets(milan_data, hepmass_data, exponential_data):
+    data = {"milan": milan_data, "hepmass": hepmass_data,
+            "exponential": exponential_data}
+    sets = {}
+    for dataset in DATASETS:
+        values = np.asarray(data[dataset])[:scaled(20_000)]
+        for name, label, factory in CASES:
+            sets[(dataset, name, label)] = build_cells(
+                values, factory, cell_size=200).summaries
+    return sets
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("name,label",
+                         [(n, lb) for n, lb, _ in CASES],
+                         ids=[f"{n}-{lb}" for n, lb, _ in CASES])
+def test_fig4_merge_latency(benchmark, cell_sets, dataset, name, label):
+    summaries = cell_sets[(dataset, name, label)]
+    result = benchmark(merge_cells, summaries)
+    assert result.count == sum(s.count for s in summaries)
+    benchmark.extra_info["per_merge_us"] = (
+        benchmark.stats["mean"] / max(len(summaries) - 1, 1) * 1e6)
+    benchmark.extra_info["size_bytes"] = result.size_bytes()
+
+
+def test_fig4_shape_moments_fastest(benchmark, milan_data):
+    """Shape assertion: at Table-2 accuracy parameters, the moments sketch
+    merges faster than every alternative on milan."""
+    values = milan_data[:scaled(20_000)]
+    def measure(factory):
+        import time
+        summaries = build_cells(values, factory, cell_size=200).summaries
+        start = time.perf_counter()
+        merge_cells(summaries)
+        return (time.perf_counter() - start) / (len(summaries) - 1)
+
+    def experiment():
+        return {name: measure(factory) for name, _, factory in CASES
+                if name in ("M-Sketch", "Merge12", "RandomW", "GK", "T-Digest")}
+
+    per_merge = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    moments = per_merge["M-Sketch"]
+    others = [v for k, v in per_merge.items() if k != "M-Sketch"]
+    assert moments < min(others)

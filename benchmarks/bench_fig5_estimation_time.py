@@ -1,0 +1,71 @@
+"""Figure 5: quantile estimation time vs summary size.
+
+Measures the time to answer the 21-quantile grid from an already merged
+summary.  Reproduction target: the moments sketch estimation is orders of
+magnitude slower than the instant-lookup summaries (its known tradeoff —
+merge fast, estimate slow) while staying in interactive range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.summaries import (
+    GKSummary,
+    Merge12Summary,
+    MomentsSummary,
+    RandomSummary,
+    SamplingSummary,
+    StreamingHistogramSummary,
+    TDigestSummary,
+)
+from repro.workload import PHI_GRID, time_estimation
+
+from _harness import scaled
+
+CASES = [
+    ("M-Sketch", "k=4", lambda: MomentsSummary(k=4)),
+    ("M-Sketch", "k=10", lambda: MomentsSummary(k=10)),
+    ("Merge12", "k=32", lambda: Merge12Summary(k=32, seed=0)),
+    ("RandomW", "b=256", lambda: RandomSummary(buffer_size=256, seed=0)),
+    ("GK", "eps=1/50", lambda: GKSummary(epsilon=1 / 50)),
+    ("T-Digest", "d=100", lambda: TDigestSummary(delta=100.0)),
+    ("Sampling", "s=1000", lambda: SamplingSummary(capacity=1000, seed=0)),
+    ("S-Hist", "b=100", lambda: StreamingHistogramSummary(max_bins=100)),
+]
+
+
+def _built(factory, values):
+    summary = factory()
+    summary.accumulate(values)
+    return summary
+
+
+@pytest.fixture(scope="module")
+def merged_summaries(milan_data):
+    values = milan_data[:scaled(40_000)]
+    return {(name, label): _built(factory, values)
+            for name, label, factory in CASES}
+
+
+@pytest.mark.parametrize("name,label",
+                         [(n, lb) for n, lb, _ in CASES],
+                         ids=[f"{n}-{lb}" for n, lb, _ in CASES])
+def test_fig5_estimation_latency(benchmark, merged_summaries, name, label):
+    summary = merged_summaries[(name, label)]
+
+    def estimate():
+        fresh = summary.copy()
+        return fresh.quantiles(PHI_GRID)
+
+    estimates = benchmark(estimate)
+    assert estimates.size == PHI_GRID.size
+
+
+def test_fig5_shape_interactive_latency(benchmark, milan_data):
+    """M-Sketch estimation is the slowest of the lineup but stays within
+    interactive bounds (paper: ~1 ms Java; here: tens of ms Python)."""
+    summary = _built(lambda: MomentsSummary(k=10), milan_data[:scaled(40_000)])
+    seconds = benchmark.pedantic(
+        lambda: time_estimation(summary, PHI_GRID, repeats=3),
+        rounds=1, iterations=1)
+    assert seconds < 0.25, "estimation must stay interactive"

@@ -1,0 +1,34 @@
+"""Table 1: dataset characteristics.
+
+Prints the generated datasets' summary statistics next to the published
+values, documenting how faithful the synthetic stand-ins are.
+"""
+
+import numpy as np
+
+from repro.datasets import EVALUATION_DATASETS, load, spec, summary_statistics
+
+from _harness import print_table, run_once, scaled
+
+
+def test_table1_dataset_characteristics(benchmark):
+    def experiment():
+        rows = []
+        for name in EVALUATION_DATASETS:
+            data = load(name, scaled(100_000))
+            stats = summary_statistics(np.asarray(data))
+            published = spec(name)
+            rows.append([
+                name,
+                f"{stats['min']:.3g} / {published.paper_min:.3g}",
+                f"{stats['max']:.3g} / {published.paper_max:.3g}",
+                f"{stats['mean']:.3g} / {published.paper_mean:.3g}",
+                f"{stats['stddev']:.3g} / {published.paper_stddev:.3g}",
+                f"{stats['skew']:.3g} / {published.paper_skew:.3g}",
+            ])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("Table 1: dataset characteristics (generated / paper)",
+                ["dataset", "min", "max", "mean", "stddev", "skew"], rows)
+    assert len(rows) == len(EVALUATION_DATASETS)

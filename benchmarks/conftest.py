@@ -1,0 +1,15 @@
+"""pytest plumbing for the benchmark suite.
+
+Fixtures and helpers live in :mod:`_harness`; importing them here registers
+the fixtures with pytest.  Keeping the real content out of ``conftest.py``
+lets benchmark modules do ``from _harness import ...`` without colliding
+with the test suite's own conftest when both directories run in one pytest
+invocation.
+"""
+
+from _harness import (  # noqa: F401
+    exponential_data,
+    hepmass_data,
+    milan_data,
+    phi_grid,
+)

@@ -1,0 +1,63 @@
+"""Quickstart: build, merge, and query moments sketches.
+
+Walks the core API end to end:
+
+1. build sketches over shards of a dataset (the pre-aggregation step),
+2. merge them (the cheap operation the sketch is designed around),
+3. estimate quantiles via the maximum-entropy solver,
+4. certify worst-case error with the moment bounds,
+5. answer a threshold predicate through the cascade.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MomentsSketch, QuantileEstimator, merge_all
+from repro.core.bounds import quantile_error_bound, rtt_bound
+from repro.core.cascade import ThresholdCascade
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # A long-tailed latency-like dataset: mostly fast requests, heavy tail.
+    latencies = rng.lognormal(mean=3.0, sigma=1.0, size=500_000)
+
+    # 1. Pre-aggregate: one sketch per shard (e.g. per server, per hour).
+    #    Each sketch is ~192 bytes regardless of how much data it saw.
+    shards = np.array_split(latencies, 250)
+    sketches = [MomentsSketch.from_data(shard, k=10) for shard in shards]
+    print(f"built {len(sketches)} sketches, "
+          f"{sketches[0].size_bytes()} bytes each")
+
+    # 2. Merge: pure vector addition plus min/max comparisons.
+    merged = merge_all(sketches)
+    print(f"merged sketch covers n={merged.count:.0f} values, "
+          f"range [{merged.min:.2f}, {merged.max:.2f}]")
+
+    # 3. Estimate quantiles: solve the max-entropy problem once, then
+    #    evaluate any number of quantiles from the solved model.
+    estimator = QuantileEstimator.fit(merged)
+    for phi in (0.5, 0.9, 0.99):
+        estimate = estimator.quantile(phi)
+        exact = np.quantile(latencies, phi)
+        print(f"  p{phi * 100:>4.1f}: estimate {estimate:10.2f}   "
+              f"exact {exact:10.2f}")
+
+    # 4. Certified worst-case error for the p99 estimate: no dataset
+    #    matching these moments can be further away than this.
+    p99 = estimator.quantile(0.99)
+    certified = quantile_error_bound(merged, p99, 0.99)
+    bounds = rtt_bound(merged, p99)
+    print(f"p99 rank bounds: [{bounds.lower:.0f}, {bounds.upper:.0f}] "
+          f"of {merged.count:.0f} (certified error <= {certified:.3f})")
+
+    # 5. Threshold predicate without a full estimate: "is p99 > 1000?"
+    cascade = ThresholdCascade()
+    outcome = cascade.evaluate(merged, 1000.0, 0.99)
+    print(f"p99 > 1000?  {outcome.result}  (decided by the "
+          f"'{outcome.stage}' cascade stage)")
+
+
+if __name__ == "__main__":
+    main()

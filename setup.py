@@ -1,0 +1,12 @@
+"""Setup script for the moments-sketch reproduction.
+
+A classic setup.py/setup.cfg layout (rather than pyproject.toml) is used
+deliberately: this project targets offline environments where pip's PEP 517
+build isolation cannot download build dependencies, and the legacy editable
+path (`setup.py develop`) needs neither network access nor the `wheel`
+package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""repro: reproduction of "Moment-Based Quantile Sketches" (VLDB 2018)."""
+
+from .core import (
+    MomentsSketch, merge_all, QuantileEstimator,
+    estimate_quantile, estimate_quantiles, safe_estimate_quantiles,
+    SolverConfig, ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MomentsSketch", "merge_all", "QuantileEstimator",
+    "estimate_quantile", "estimate_quantiles", "safe_estimate_quantiles",
+    "SolverConfig", "ReproError", "__version__",
+]

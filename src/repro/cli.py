@@ -1,0 +1,226 @@
+"""Command-line interface: build, merge, and query moments sketches.
+
+Mirrors how the sketch would be operated from shell pipelines or cron
+jobs around an analytics engine:
+
+    python -m repro sketch build data.csv -o shard.msk --k 10
+    python -m repro sketch merge shard1.msk shard2.msk -o total.msk
+    python -m repro sketch query total.msk --phi 0.5 0.9 0.99
+    python -m repro sketch threshold total.msk --t 100 --phi 0.99
+    python -m repro sketch info total.msk
+    python -m repro datasets list
+    python -m repro datasets stats milan --rows 100000
+
+Input files are one float per line (CSV with a single column); sketch
+files use the library's binary serialization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (
+    ConvergenceError,
+    MomentsSketch,
+    QuantileEstimator,
+    merge_all,
+    safe_estimate_quantiles,
+)
+from .core.bounds import markov_bound, rtt_bound
+from .core.cascade import ThresholdCascade
+from .datasets import available, load, spec, summary_statistics
+
+
+def _read_values(path: str) -> np.ndarray:
+    """Load one-float-per-line data (use '-' for stdin)."""
+    stream = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    try:
+        values = np.loadtxt(stream, dtype=float, ndmin=1)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    return values
+
+
+def _load_sketch(path: str) -> MomentsSketch:
+    return MomentsSketch.from_bytes(Path(path).read_bytes())
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers (each returns a JSON-serializable result)
+# ----------------------------------------------------------------------
+
+def cmd_build(args: argparse.Namespace) -> dict:
+    values = _read_values(args.input)
+    sketch = MomentsSketch.from_data(values, k=args.k,
+                                     track_log=not args.no_log)
+    Path(args.output).write_bytes(sketch.to_bytes())
+    return {"output": args.output, "count": sketch.count,
+            "min": sketch.min, "max": sketch.max,
+            "size_bytes": sketch.size_bytes()}
+
+
+def cmd_merge(args: argparse.Namespace) -> dict:
+    sketches = [_load_sketch(path) for path in args.inputs]
+    merged = merge_all(sketches)
+    Path(args.output).write_bytes(merged.to_bytes())
+    return {"output": args.output, "merged": len(sketches),
+            "count": merged.count}
+
+
+def cmd_query(args: argparse.Namespace) -> dict:
+    sketch = _load_sketch(args.sketch)
+    phis = np.asarray(args.phi, dtype=float)
+    estimates = safe_estimate_quantiles(sketch, phis)
+    return {"count": sketch.count,
+            "quantiles": {f"{phi:g}": float(q)
+                          for phi, q in zip(phis, estimates)}}
+
+
+def cmd_threshold(args: argparse.Namespace) -> dict:
+    sketch = _load_sketch(args.sketch)
+    cascade = ThresholdCascade()
+    outcome = cascade.evaluate(sketch, args.t, args.phi)
+    return {"phi": args.phi, "threshold": args.t,
+            "exceeds": outcome.result, "decided_by": outcome.stage}
+
+
+def cmd_info(args: argparse.Namespace) -> dict:
+    sketch = _load_sketch(args.sketch)
+    info = {"k": sketch.k, "count": sketch.count, "min": sketch.min,
+            "max": sketch.max, "size_bytes": sketch.size_bytes(),
+            "log_moments": sketch.has_log_moments}
+    if not sketch.is_empty and sketch.max > sketch.min:
+        try:
+            estimator = QuantileEstimator.fit(sketch, allow_backoff=True)
+            if estimator.selection is not None:
+                info["selected_k1"] = estimator.selection.k1
+                info["selected_k2"] = estimator.selection.k2
+        except ConvergenceError:
+            info["estimation"] = "non-convergent (near-discrete data)"
+    return info
+
+
+def cmd_bounds(args: argparse.Namespace) -> dict:
+    sketch = _load_sketch(args.sketch)
+    markov = markov_bound(sketch, args.t)
+    rtt = rtt_bound(sketch, args.t)
+    return {"t": args.t, "count": sketch.count,
+            "markov": {"lower": markov.lower, "upper": markov.upper},
+            "rtt": {"lower": rtt.lower, "upper": rtt.upper}}
+
+
+def cmd_datasets_list(args: argparse.Namespace) -> dict:
+    return {"datasets": sorted(available())}
+
+
+def cmd_datasets_stats(args: argparse.Namespace) -> dict:
+    data = np.asarray(load(args.name, n=args.rows, seed=args.seed))
+    stats = summary_statistics(data)
+    published = spec(args.name)
+    return {"dataset": args.name, "generated": stats,
+            "paper": {"size": published.paper_size, "min": published.paper_min,
+                      "max": published.paper_max, "mean": published.paper_mean,
+                      "stddev": published.paper_stddev,
+                      "skew": published.paper_skew}}
+
+
+def cmd_datasets_generate(args: argparse.Namespace) -> dict:
+    data = np.asarray(load(args.name, n=args.rows, seed=args.seed))
+    np.savetxt(args.output, data)
+    return {"output": args.output, "rows": int(data.size)}
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Moments sketch toolkit (VLDB 2018 reproduction)")
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    sketch = subcommands.add_parser("sketch", help="sketch operations")
+    sketch_sub = sketch.add_subparsers(dest="action", required=True)
+
+    build = sketch_sub.add_parser("build", help="build a sketch from values")
+    build.add_argument("input", help="value file, one float per line ('-' = stdin)")
+    build.add_argument("-o", "--output", required=True)
+    build.add_argument("--k", type=int, default=10, help="moment order")
+    build.add_argument("--no-log", action="store_true",
+                       help="skip log moments (halves the footprint)")
+    build.set_defaults(handler=cmd_build)
+
+    merge = sketch_sub.add_parser("merge", help="merge sketch files")
+    merge.add_argument("inputs", nargs="+")
+    merge.add_argument("-o", "--output", required=True)
+    merge.set_defaults(handler=cmd_merge)
+
+    query = sketch_sub.add_parser("query", help="estimate quantiles")
+    query.add_argument("sketch")
+    query.add_argument("--phi", type=float, nargs="+", default=[0.5, 0.99])
+    query.set_defaults(handler=cmd_query)
+
+    threshold = sketch_sub.add_parser("threshold",
+                                      help="cascade threshold predicate")
+    threshold.add_argument("sketch")
+    threshold.add_argument("--t", type=float, required=True)
+    threshold.add_argument("--phi", type=float, default=0.99)
+    threshold.set_defaults(handler=cmd_threshold)
+
+    info = sketch_sub.add_parser("info", help="inspect a sketch file")
+    info.add_argument("sketch")
+    info.set_defaults(handler=cmd_info)
+
+    bounds = sketch_sub.add_parser("bounds", help="rank bounds at a point")
+    bounds.add_argument("sketch")
+    bounds.add_argument("--t", type=float, required=True)
+    bounds.set_defaults(handler=cmd_bounds)
+
+    datasets = subcommands.add_parser("datasets",
+                                      help="synthetic evaluation datasets")
+    datasets_sub = datasets.add_subparsers(dest="action", required=True)
+
+    ds_list = datasets_sub.add_parser("list")
+    ds_list.set_defaults(handler=cmd_datasets_list)
+
+    ds_stats = datasets_sub.add_parser("stats")
+    ds_stats.add_argument("name")
+    ds_stats.add_argument("--rows", type=int, default=100_000)
+    ds_stats.add_argument("--seed", type=int, default=0)
+    ds_stats.set_defaults(handler=cmd_datasets_stats)
+
+    ds_generate = datasets_sub.add_parser("generate")
+    ds_generate.add_argument("name")
+    ds_generate.add_argument("-o", "--output", required=True)
+    ds_generate.add_argument("--rows", type=int, default=100_000)
+    ds_generate.add_argument("--seed", type=int, default=0)
+    ds_generate.set_defaults(handler=cmd_datasets_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; prints one JSON document and returns an exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        result = args.handler(args)
+    except FileNotFoundError as exc:
+        print(json.dumps({"error": f"file not found: {exc.filename}"}))
+        return 2
+    except Exception as exc:  # surfaced as structured output, not traceback
+        print(json.dumps({"error": f"{type(exc).__name__}: {exc}"}))
+        return 1
+    print(json.dumps(result, indent=2, default=float))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

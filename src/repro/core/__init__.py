@@ -1,0 +1,19 @@
+"""Core moments-sketch package: the paper's primary contribution."""
+
+from .sketch import MomentsSketch, merge_all, DEFAULT_ORDER
+from .quantile import QuantileEstimator, estimate_quantile, estimate_quantiles, safe_estimate_quantiles
+from .solver import SolverConfig
+from .errors import (
+    ReproError, SketchError, IncompatibleSketchError, EmptySketchError,
+    ConvergenceError, EstimationError, BoundError, EncodingError,
+    DatasetError, QueryError,
+)
+
+__all__ = [
+    "MomentsSketch", "merge_all", "DEFAULT_ORDER",
+    "QuantileEstimator", "estimate_quantile", "estimate_quantiles",
+    "safe_estimate_quantiles", "SolverConfig",
+    "ReproError", "SketchError", "IncompatibleSketchError", "EmptySketchError",
+    "ConvergenceError", "EstimationError", "BoundError", "EncodingError",
+    "DatasetError", "QueryError",
+]

@@ -1,0 +1,313 @@
+"""Moment-based rank and CDF bounds (Section 5.1, Appendix E).
+
+Two families of worst-case bounds derived from the statistics in a moments
+sketch.  Both hold for *every* dataset matching the sketch, so they can
+short-circuit threshold queries (the cascade) and certify quantile-estimate
+error (Figure 23).
+
+``markov_bound``
+    Markov's inequality applied to the transforms T+ = x - xmin,
+    T- = xmax - x and T^log = log(x) (paper Section 5.1).  Cheap: a handful
+    of flops per moment order.
+
+``rtt_bound``
+    The Racz-Tari-Telek procedure [66]: the canonical (principal)
+    representation of the moment sequence with an atom pinned at the query
+    point t.  A discrete distribution with atoms {t} union roots(q) matches
+    all stored moments exactly, and classical Chebyshev-Markov theory makes
+    its partial weight sums the extremal values of F(t).  Tighter than
+    Markov but needs a Hankel solve + root finding.  Runs on the standard
+    and the log moments separately, keeping the tighter result (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import BoundError
+from .moments import (
+    ScaledSupport,
+    max_stable_order,
+    raw_moments,
+    shifted_moments,
+    shifted_scaled_moments,
+    stable_order_empirical,
+)
+from .sketch import MomentsSketch
+
+
+@dataclass(frozen=True)
+class RankBounds:
+    """Bounds on ``rank(t)`` = number of elements strictly below ``t``.
+
+    ``lower <= rank(t) <= upper`` for every dataset matching the sketch.
+    ``fraction()`` converts to CDF bounds.
+    """
+
+    lower: float
+    upper: float
+    count: float
+
+    def fraction(self) -> tuple[float, float]:
+        return self.lower / self.count, self.upper / self.count
+
+    def intersect(self, other: "RankBounds") -> "RankBounds":
+        return RankBounds(max(self.lower, other.lower),
+                          min(self.upper, other.upper), self.count)
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def _shifted_raw_moments(mu: np.ndarray, shift: float, negate: bool) -> np.ndarray:
+    """``E[(x - shift)**j]`` (or ``E[(shift - x)**j]`` when ``negate``)."""
+    out = shifted_moments(mu, shift)
+    if negate:
+        out[1::2] = -out[1::2]
+    return out
+
+
+def _cheap_order_caps(sketch: MomentsSketch) -> tuple[int, int]:
+    """Usable moment orders from the closed-form Appendix-B caps only.
+
+    The bounds run once per subgroup inside cascades, so they avoid the
+    full empirical stability scan; per-order validity guards below reject
+    any residually garbage moment.
+    """
+    support = ScaledSupport(sketch.min, sketch.max)
+    if support.degenerate:
+        return 1, 0
+    k1 = min(sketch.k, max_stable_order(support.center_offset))
+    k2 = 0
+    if sketch.has_log_moments:
+        log_support = ScaledSupport(float(np.log(sketch.min)),
+                                    float(np.log(sketch.max)))
+        if not log_support.degenerate:
+            k2 = min(sketch.k, max_stable_order(log_support.center_offset))
+    return max(k1, 1), k2
+
+
+def markov_bound(sketch: MomentsSketch, t: float,
+                 max_order: int | None = None) -> RankBounds:
+    """Markov-inequality bounds on rank(t) (Section 5.1).
+
+    Lower bound from T+ = x - xmin (non-negative):
+    ``P(X >= t) <= E[(X - xmin)**j] / (t - xmin)**j`` so
+    ``rank(t) >= n (1 - min_j ...)``.  Upper bound symmetrically from
+    T- = xmax - x, and both again on log-transformed data when available.
+    """
+    sketch.require_nonempty()
+    n = sketch.count
+    if t <= sketch.min:
+        return RankBounds(0.0, 0.0, n)
+    if t > sketch.max:
+        return RankBounds(n, n, n)
+
+    k1, k2 = _cheap_order_caps(sketch)
+    if max_order is not None:
+        k1 = min(k1, max_order)
+        k2 = min(k2, max_order)
+    k1 = max(k1, 1)
+
+    mu = raw_moments(sketch.power_sums[: k1 + 1], n)
+    lower_frac = _markov_lower(mu, sketch.min, t, sketch.max - sketch.min)
+    upper_frac = _markov_upper(mu, sketch.max, t, sketch.max - sketch.min)
+
+    if k2 > 0 and sketch.has_log_moments and t > 0:
+        nu = raw_moments(sketch.log_sums[: k2 + 1], n)
+        log_t = float(np.log(t))
+        log_range = float(np.log(sketch.max) - np.log(sketch.min))
+        lower_frac = max(lower_frac, _markov_lower(
+            nu, float(np.log(sketch.min)), log_t, log_range))
+        upper_frac = min(upper_frac, _markov_upper(
+            nu, float(np.log(sketch.max)), log_t, log_range))
+
+    lower_frac = float(np.clip(lower_frac, 0.0, 1.0))
+    upper_frac = float(np.clip(upper_frac, lower_frac, 1.0))
+    return RankBounds(lower_frac * n, upper_frac * n, n)
+
+
+def _valid_transform_moments(values: np.ndarray, span: float) -> np.ndarray:
+    """Mask of usable moments of a non-negative transform.
+
+    A genuine moment of data on [0, span] is finite, non-negative, and at
+    most span**j; anything else is floating-point debris from the binomial
+    shift and must not feed an inequality.
+    """
+    j = np.arange(values.size, dtype=float)
+    with np.errstate(over="ignore"):
+        ceiling = span ** j * (1.0 + 1e-9)
+    return np.isfinite(values) & (values >= 0.0) & (values <= ceiling)
+
+
+def _markov_lower(mu: np.ndarray, xmin: float, t: float, span: float) -> float:
+    """``F(t) >= 1 - min_j E[(X - xmin)**j] / (t - xmin)**j``."""
+    gap = t - xmin
+    if gap <= 0:
+        return 0.0
+    plus = _shifted_raw_moments(mu, xmin, negate=False)
+    valid = _valid_transform_moments(plus, span)
+    # gap**j can underflow to zero for tiny gaps at high order; the
+    # resulting inf ratio is simply never the minimum.
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        ratios = plus[1:] / gap ** np.arange(1, plus.size, dtype=float)
+    ratios = ratios[valid[1:] & np.isfinite(ratios)]
+    best = float(np.min(ratios, initial=1.0))
+    return 1.0 - min(best, 1.0)
+
+
+def _markov_upper(mu: np.ndarray, xmax: float, t: float, span: float) -> float:
+    """``F(t) <= min_j E[(xmax - X)**j] / (xmax - t)**j``."""
+    gap = xmax - t
+    if gap <= 0:
+        return 1.0
+    minus = _shifted_raw_moments(mu, xmax, negate=True)
+    valid = _valid_transform_moments(minus, span)
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        ratios = minus[1:] / gap ** np.arange(1, minus.size, dtype=float)
+    ratios = ratios[valid[1:] & np.isfinite(ratios)]
+    return min(float(np.min(ratios, initial=1.0)), 1.0)
+
+
+# ----------------------------------------------------------------------
+# RTT canonical-representation bounds
+# ----------------------------------------------------------------------
+
+#: Tolerance (in scaled units) within which an atom counts as sitting *at*
+#: the query point rather than strictly below it.
+_ATOM_TOL = 1e-9
+
+
+def _canonical_representation(moments: np.ndarray, point: float) -> tuple[np.ndarray, np.ndarray]:
+    """Atoms and weights of the principal representation pinned at ``point``.
+
+    ``moments[i] = E[u**i]`` for i = 0..2n must hold 2n + 1 values.  Builds
+    the monic degree-n polynomial q orthogonal to ``(u - point) * u**i`` for
+    i < n; its roots plus ``point`` are the support of a discrete
+    distribution matching all 2n + 1 moments.  Raises :class:`BoundError`
+    when the moment matrix is numerically degenerate (e.g. the underlying
+    data has fewer distinct values than atoms).
+    """
+    size = moments.size
+    if size < 3 or size % 2 == 0:
+        raise BoundError(f"need an odd number of moments >= 3, got {size}")
+    n = (size - 1) // 2
+    # Linear system sum_j a_j (m_{i+j+1} - point * m_{i+j}) = -(rhs) from
+    # orthogonality of the monic q against (u - point) u**i.
+    system = np.empty((n, n))
+    rhs = np.empty(n)
+    for i in range(n):
+        for j in range(n):
+            system[i, j] = moments[i + j + 1] - point * moments[i + j]
+        rhs[i] = -(moments[i + n + 1] - point * moments[i + n])
+    try:
+        coeffs = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise BoundError("degenerate Hankel system in RTT bound") from exc
+    monic = np.concatenate([coeffs, [1.0]])  # ascending powers, degree n
+    roots = np.polynomial.polynomial.polyroots(monic)
+    if np.any(np.abs(roots.imag) > 1e-7):
+        raise BoundError("complex atoms in RTT canonical representation")
+    atoms = np.concatenate([roots.real, [point]])
+    # Weights from the (n+1)-moment Vandermonde system.
+    vander = np.vander(atoms, len(atoms), increasing=True).T
+    try:
+        weights = np.linalg.solve(vander, moments[: len(atoms)])
+    except np.linalg.LinAlgError as exc:
+        raise BoundError("singular Vandermonde in RTT bound") from exc
+    if np.any(weights < -1e-6):
+        raise BoundError("negative weights in RTT canonical representation")
+    return atoms, np.clip(weights, 0.0, None)
+
+
+def _rtt_cdf_bounds(moments: np.ndarray, point: float) -> tuple[float, float]:
+    """Extremal values of F(point) over distributions matching ``moments``."""
+    atoms, weights = _canonical_representation(moments, point)
+    below = float(weights[atoms < point - _ATOM_TOL].sum())
+    at = float(weights[np.abs(atoms - point) <= _ATOM_TOL].sum())
+    total = float(weights.sum())
+    if total <= 0:
+        raise BoundError("zero total mass in RTT representation")
+    return below / total, min(1.0, (below + at) / total)
+
+
+def rtt_bound(sketch: MomentsSketch, t: float,
+              max_order: int | None = None) -> RankBounds:
+    """RTT bounds on rank(t), intersected across moment families.
+
+    Scales data onto [-1, 1] first (the Hankel systems are hopeless in raw
+    units), runs the canonical-representation bound on the standard moments
+    and, when available, on the log moments, and keeps the tighter bounds.
+    Falls back to :func:`markov_bound` when both solves degenerate.
+    """
+    sketch.require_nonempty()
+    n = sketch.count
+    if t <= sketch.min:
+        return RankBounds(0.0, 0.0, n)
+    if t > sketch.max:
+        return RankBounds(n, n, n)
+
+    k1, k2 = _cheap_order_caps(sketch)
+    if max_order is not None:
+        k1 = min(k1, max_order)
+        k2 = min(k2, max_order)
+
+    lo_frac, hi_frac = 0.0, 1.0
+    solved = False
+
+    support = ScaledSupport(sketch.min, sketch.max)
+    if not support.degenerate and k1 >= 2:
+        mu = raw_moments(sketch.power_sums[: k1 + 1], n)
+        scaled_mu = shifted_scaled_moments(mu, support)
+        scaled_mu = scaled_mu[: max(stable_order_empirical(scaled_mu), 1) + 1]
+        try:
+            lo, hi = _rtt_cdf_bounds(_odd_prefix(scaled_mu), float(support.scale(np.asarray(t))))
+            lo_frac, hi_frac = max(lo_frac, lo), min(hi_frac, hi)
+            solved = True
+        except BoundError:
+            pass
+
+    if sketch.has_log_moments and k2 >= 2 and t > 0:
+        log_support = ScaledSupport(float(np.log(sketch.min)), float(np.log(sketch.max)))
+        if not log_support.degenerate:
+            nu = raw_moments(sketch.log_sums[: k2 + 1], n)
+            scaled_nu = shifted_scaled_moments(nu, log_support)
+            scaled_nu = scaled_nu[: max(stable_order_empirical(scaled_nu), 1) + 1]
+            try:
+                lo, hi = _rtt_cdf_bounds(
+                    _odd_prefix(scaled_nu),
+                    float(log_support.scale(np.asarray(np.log(t)))))
+                lo_frac, hi_frac = max(lo_frac, lo), min(hi_frac, hi)
+                solved = True
+            except BoundError:
+                pass
+
+    markov = markov_bound(sketch, t, max_order=max_order)
+    if not solved:
+        return markov
+    hi_frac = max(hi_frac, lo_frac)
+    return RankBounds(lo_frac * n, hi_frac * n, n).intersect(markov)
+
+
+def _odd_prefix(moments: np.ndarray) -> np.ndarray:
+    """Longest odd-length prefix (the RTT solve needs moments 0..2n)."""
+    usable = moments.size if moments.size % 2 == 1 else moments.size - 1
+    return moments[:usable]
+
+
+def quantile_error_bound(sketch: MomentsSketch, estimate: float, phi: float) -> float:
+    """Guaranteed quantile error of ``estimate`` as a phi-quantile (App. E).
+
+    Every dataset matching the sketch has F(estimate) inside the RTT bounds,
+    so the rank error of ``estimate`` is at most the distance from phi to
+    the far end of those bounds.  This is the ``epsilon_bound`` series of
+    Figure 23.
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise BoundError(f"phi must be in [0, 1], got {phi}")
+    bounds = rtt_bound(sketch, estimate)
+    lo, hi = bounds.fraction()
+    return max(hi - phi, phi - lo, 0.0)

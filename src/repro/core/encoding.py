@@ -1,0 +1,184 @@
+"""Low-precision moments-sketch storage (Appendix C).
+
+When space is heavily constrained, a moments sketch can be compressed by
+storing its float64 entries at reduced precision.  Appendix C's
+proof-of-concept encoder quantizes the significand with *randomized
+rounding* (so aggregation over many compressed sketches stays unbiased) and
+compresses the exponent into a narrow offset field.
+
+The layout per value is ``1 sign bit | exponent_bits | mantissa_bits``
+relative to a shared base exponent stored once in the header.  ``bits per
+value`` in Figure 17 is exactly ``1 + exponent_bits + mantissa_bits``.
+
+Decoding returns native float64, so merge-time cost is unaffected — the
+paper's observation that the representation has "negligible impact on merge
+times".
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .errors import EncodingError
+from .sketch import MomentsSketch
+
+_HEADER = struct.Struct("<4sBBBBhH")
+_MAGIC = b"MSKC"
+
+#: Exponent field width.  11 bits covers the full float64 exponent range;
+#: smaller fields clamp to the representable window around the base.
+DEFAULT_EXPONENT_BITS = 8
+
+
+def _split(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sign, exponent, and mantissa-in-[0.5, 1) decomposition."""
+    signs = np.signbit(values)
+    mantissa, exponent = np.frexp(np.abs(values))
+    return signs, exponent, mantissa
+
+
+def quantize(values: np.ndarray, mantissa_bits: int,
+             rng: np.random.Generator | None = None) -> np.ndarray:
+    """Randomized rounding of each value to ``mantissa_bits`` of significand.
+
+    The expectation of the output equals the input, which keeps sums of many
+    independently quantized sketches unbiased (the property Figure 17 relies
+    on: accuracy holds after 100k merges at 20 bits/value).
+    """
+    if mantissa_bits < 1:
+        raise EncodingError(f"mantissa_bits must be >= 1, got {mantissa_bits}")
+    rng = rng or np.random.default_rng()
+    values = np.asarray(values, dtype=float)
+    signs, exponent, mantissa = _split(values)
+    scale = 2.0 ** mantissa_bits
+    scaled = mantissa * scale
+    floor = np.floor(scaled)
+    frac = scaled - floor
+    floor += (rng.random(values.shape) < frac).astype(float)
+    out = np.ldexp(floor / scale, exponent)
+    out[signs] = -out[signs]
+    out[values == 0.0] = 0.0
+    return out
+
+
+class LowPrecisionCodec:
+    """Encode/decode a :class:`MomentsSketch` at reduced bits per value."""
+
+    def __init__(self, mantissa_bits: int = 10,
+                 exponent_bits: int = DEFAULT_EXPONENT_BITS,
+                 seed: int | None = None):
+        if not 1 <= mantissa_bits <= 52:
+            raise EncodingError(f"mantissa_bits must be in [1, 52], got {mantissa_bits}")
+        if not 2 <= exponent_bits <= 11:
+            raise EncodingError(f"exponent_bits must be in [2, 11], got {exponent_bits}")
+        self.mantissa_bits = mantissa_bits
+        self.exponent_bits = exponent_bits
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def bits_per_value(self) -> int:
+        """Figure 17's x-axis: sign + exponent + mantissa bits."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    # ------------------------------------------------------------------
+
+    def encode(self, sketch: MomentsSketch) -> bytes:
+        """Compress a sketch.  min/max/count stay at full precision (they
+        are 3 values regardless of k; the sums dominate the footprint)."""
+        values = np.concatenate([
+            sketch.power_sums[1:],
+            sketch.log_sums[1:] if sketch.track_log else np.zeros(0),
+        ])
+        quantized = quantize(values, self.mantissa_bits, self._rng)
+        signs, exponent, mantissa = _split(quantized)
+
+        # Shared base exponent: center the per-value offsets in the field.
+        finite = exponent[quantized != 0.0]
+        base = int(finite.min()) if finite.size else 0
+        span = 1 << self.exponent_bits
+        offsets = np.where(quantized == 0.0, 0, exponent - base + 1)
+        if offsets.max(initial=0) >= span:
+            raise EncodingError(
+                f"exponent range {int(offsets.max())} exceeds {self.exponent_bits}-bit field; "
+                "increase exponent_bits")
+
+        significands = np.round(mantissa * (1 << self.mantissa_bits)).astype(np.uint64)
+        significands[quantized == 0.0] = 0
+
+        packed = self._pack(signs.astype(np.uint64), offsets.astype(np.uint64), significands)
+        flags = (1 if sketch.track_log else 0) | (2 if sketch.log_valid else 0)
+        header = _HEADER.pack(_MAGIC, sketch.k, flags, self.mantissa_bits,
+                              self.exponent_bits, base, values.size)
+        tail = struct.pack("<ddd", sketch.min, sketch.max, sketch.count)
+        return header + tail + packed.tobytes()
+
+    def decode(self, blob: bytes) -> MomentsSketch:
+        """Inverse of :meth:`encode` (up to the quantization applied)."""
+        if len(blob) < _HEADER.size + 24:
+            raise EncodingError("buffer too short for a compressed sketch")
+        magic, k, flags, mantissa_bits, exponent_bits, base, count_values = \
+            _HEADER.unpack_from(blob)
+        if magic != _MAGIC:
+            raise EncodingError(f"bad magic {magic!r}")
+        xmin, xmax, count = struct.unpack_from("<ddd", blob, _HEADER.size)
+        payload = np.frombuffer(blob, dtype=np.uint8, offset=_HEADER.size + 24)
+        signs, offsets, significands = self._unpack(
+            payload, count_values, mantissa_bits, exponent_bits)
+
+        mantissa = significands.astype(float) / (1 << mantissa_bits)
+        exponent = offsets.astype(int) + base - 1
+        values = np.ldexp(mantissa, exponent)
+        values[offsets == 0] = 0.0
+        values[signs.astype(bool)] *= -1.0
+
+        track_log = bool(flags & 1)
+        sketch = MomentsSketch(k=k, track_log=track_log)
+        sketch.min, sketch.max, sketch.count = xmin, xmax, count
+        sketch.power_sums[1:] = values[:k]
+        sketch.power_sums[0] = count
+        if track_log:
+            sketch.log_sums[1:] = values[k:2 * k]
+            sketch.log_sums[0] = count
+        sketch.log_valid = bool(flags & 2)
+        return sketch
+
+    def size_bytes(self, sketch: MomentsSketch) -> int:
+        """Encoded footprint (header + full-precision extrema + packed sums)."""
+        families = 2 if sketch.track_log else 1
+        bits = families * sketch.k * self.bits_per_value
+        return _HEADER.size + 24 + (bits + 7) // 8
+
+    # ------------------------------------------------------------------
+    # Bit packing
+    # ------------------------------------------------------------------
+
+    def _pack(self, signs: np.ndarray, offsets: np.ndarray,
+              significands: np.ndarray) -> np.ndarray:
+        width = self.bits_per_value
+        words = (signs << (width - 1)) | (offsets << self.mantissa_bits) | significands
+        total_bits = width * words.size
+        bits = np.zeros(total_bits, dtype=np.uint8)
+        for i, word in enumerate(words):
+            for b in range(width):
+                bits[i * width + b] = (int(word) >> (width - 1 - b)) & 1
+        return np.packbits(bits)
+
+    def _unpack(self, payload: np.ndarray, count: int, mantissa_bits: int,
+                exponent_bits: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        width = 1 + exponent_bits + mantissa_bits
+        bits = np.unpackbits(payload)[: width * count]
+        if bits.size < width * count:
+            raise EncodingError("truncated compressed payload")
+        signs = np.zeros(count, dtype=np.uint64)
+        offsets = np.zeros(count, dtype=np.uint64)
+        significands = np.zeros(count, dtype=np.uint64)
+        for i in range(count):
+            word = 0
+            for b in bits[i * width:(i + 1) * width]:
+                word = (word << 1) | int(b)
+            signs[i] = word >> (width - 1)
+            offsets[i] = (word >> mantissa_bits) & ((1 << exponent_bits) - 1)
+            significands[i] = word & ((1 << mantissa_bits) - 1)
+        return signs, offsets, significands

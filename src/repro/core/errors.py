@@ -1,0 +1,58 @@
+"""Exception hierarchy for the moments-sketch library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class at system boundaries (e.g. the Druid aggregator layer
+converts any :class:`ReproError` into a query-level error response).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SketchError(ReproError):
+    """Invalid sketch state or invalid operation on a sketch."""
+
+
+class IncompatibleSketchError(SketchError):
+    """Raised when merging/subtracting sketches of different orders."""
+
+
+class EmptySketchError(SketchError):
+    """Raised when an estimate is requested from a sketch with count == 0."""
+
+
+class ConvergenceError(ReproError):
+    """The maximum-entropy solver failed to converge.
+
+    The paper observes this on very low cardinality datasets (fewer than
+    about five distinct values, Figure 8); callers such as the cascade fall
+    back to bound midpoints when this is raised.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, grad_norm: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.grad_norm = grad_norm
+
+
+class EstimationError(ReproError):
+    """A quantile estimator could not produce an estimate."""
+
+
+class BoundError(ReproError):
+    """A moment-based bound routine could not produce a valid bound."""
+
+
+class EncodingError(ReproError):
+    """Invalid low-precision encoding parameters or corrupt payload."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or invalid generator parameters."""
+
+
+class QueryError(ReproError):
+    """Malformed query against the cube / engine layers."""

@@ -1,0 +1,150 @@
+"""Heuristic selection of how many moments to use (Section 4.3.1).
+
+The sketch stores up to ``k`` standard and ``k`` log moments, but using all
+of them can leave the Newton Hessian ill-conditioned or numerically void
+(Section 4.3.2).  At query time the paper "greedily increments k1 and k2,
+favoring moments which are closer to the moments expected from a uniform
+distribution", subject to the Hessian condition number staying below
+``kappa_max``.
+
+This module implements that heuristic plus the two stability backstops from
+Appendix B:
+
+* the closed-form cap ``k <= 13.35 / (0.78 + log10(|c| + 1))`` on usable
+  order given the data's center offset, and
+* an empirical prefix check that discards scaled moments whose magnitude
+  escaped [-1, 1] (a sure sign of catastrophic cancellation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .moments import (
+    ScaledSupport,
+    max_stable_order,
+    raw_moments,
+    shifted_scaled_moments,
+    stable_order_empirical,
+    uniform_chebyshev_moments,
+)
+from .sketch import MomentsSketch
+from .solver import MaxEntBasis, SolverConfig, build_basis, condition_number, uniform_hessian
+
+
+@dataclass(frozen=True)
+class MomentSelection:
+    """Outcome of the k1/k2 search: counts plus diagnostics."""
+
+    k1: int
+    k2: int
+    condition: float
+    max_stable_k1: int
+    max_stable_k2: int
+
+
+def stable_moment_counts(sketch: MomentsSketch) -> tuple[int, int]:
+    """Numerically usable prefix lengths for standard and log moments.
+
+    Combines the Appendix-B closed form (driven by the center offset of each
+    support) with an empirical sanity check on the scaled moments.
+    """
+    sketch.require_nonempty()
+    support = ScaledSupport(sketch.min, sketch.max)
+    if support.degenerate:
+        return 1, 0
+    mu = raw_moments(sketch.power_sums, sketch.count)
+    scaled = shifted_scaled_moments(mu, support)
+    k1 = min(sketch.k, max_stable_order(support.center_offset),
+             max(stable_order_empirical(scaled), 1))
+    k2 = 0
+    if sketch.has_log_moments:
+        log_support = ScaledSupport(float(np.log(sketch.min)), float(np.log(sketch.max)))
+        if not log_support.degenerate:
+            nu = raw_moments(sketch.log_sums, sketch.count)
+            log_scaled = shifted_scaled_moments(nu, log_support)
+            k2 = min(sketch.k, max_stable_order(log_support.center_offset),
+                     max(stable_order_empirical(log_scaled), 0))
+    return k1, k2
+
+
+def select_moments(sketch: MomentsSketch, config: SolverConfig | None = None,
+                   use_log: bool = True) -> MomentSelection:
+    """Greedy k1/k2 search under the condition-number budget.
+
+    Starting from (k1, k2) = (1, 0), repeatedly tries to add the next
+    standard or the next log moment.  A candidate is feasible if the uniform
+    Hessian restricted to the enlarged basis keeps
+    ``cond < config.max_condition_number``; among feasible candidates the one
+    whose *new* Chebyshev moment lies closest to its uniform-distribution
+    expectation wins (moments near the uniform value constrain the solution
+    gently and are the safest to include).
+    """
+    config = config or SolverConfig()
+    max_k1, max_k2 = stable_moment_counts(sketch)
+    if not use_log:
+        max_k2 = 0
+    max_k1 = max(max_k1, 1)
+
+    # One full-order basis gives every subset's rows and target moments.
+    full = build_basis(sketch, max_k1, max_k2, config)
+    max_k2 = full.k2  # build_basis zeroes k2 when log moments are unusable
+    uniform_std = uniform_chebyshev_moments(max_k1)
+    uniform_log = _uniform_log_expectations(full) if max_k2 > 0 else np.zeros(0)
+
+    # Greedy growth from the empty selection.  Starting at (0, 0) rather
+    # than (1, 0) matters in the log integration domain, where the standard
+    # basis functions are nearly collinear with the constant (most of the
+    # log-scale grid maps to a sliver of the linear scale) and including
+    # even one of them can blow the condition number past the budget.
+    k1, k2 = 0, 0
+    current_cond = 1.0
+    while True:
+        candidates: list[tuple[float, int, int, float]] = []
+        for nk1, nk2 in ((k1 + 1, k2), (k1, k2 + 1)):
+            if nk1 > max_k1 or nk2 > max_k2:
+                continue
+            cond = condition_number(uniform_hessian(full, _row_indices(full, nk1, nk2)))
+            if cond >= config.max_condition_number:
+                continue
+            if nk1 > k1:
+                distance = abs(full.std_moments[nk1] - uniform_std[nk1])
+            else:
+                distance = abs(full.log_moments[nk2] - uniform_log[nk2])
+            candidates.append((distance, nk1, nk2, cond))
+        if not candidates:
+            break
+        candidates.sort()
+        _, k1, k2, current_cond = candidates[0]
+    if k1 + k2 == 0:
+        # Nothing fit the budget; fall back to the first standard moment.
+        k1, k2 = 1, 0
+        current_cond = condition_number(
+            uniform_hessian(full, _row_indices(full, 1, 0)))
+    return MomentSelection(k1=k1, k2=k2, condition=current_cond,
+                           max_stable_k1=max_k1, max_stable_k2=max_k2)
+
+
+def _row_indices(basis: MaxEntBasis, k1: int, k2: int) -> np.ndarray:
+    """Rows of the full basis matrix spanning the (k1, k2) sub-basis."""
+    rows = [0]
+    rows.extend(range(1, 1 + k1))
+    rows.extend(range(1 + basis.k1, 1 + basis.k1 + k2))
+    return np.asarray(rows, dtype=int)
+
+
+def _uniform_log_expectations(basis: MaxEntBasis) -> np.ndarray:
+    """``E_uniform[T_j(log-basis)]`` computed by quadrature on the grid.
+
+    The log-basis functions are not polynomials in the integration variable,
+    so unlike the standard basis there is no closed form; the shared
+    Clenshaw-Curtis grid gives them to interpolation accuracy.
+    """
+    out = np.zeros(basis.k2 + 1)
+    out[0] = 1.0
+    for j in range(1, basis.k2 + 1):
+        row = basis.matrix[basis.k1 + j]
+        out[j] = 0.5 * float(np.dot(basis.weights, row))
+    return out

@@ -1,0 +1,5 @@
+"""Pre-aggregated data cube of mergeable summaries (Figure 1)."""
+
+from .cube import CubeSchema, DataCube
+
+__all__ = ["CubeSchema", "DataCube"]

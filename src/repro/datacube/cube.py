@@ -1,0 +1,170 @@
+"""Pre-aggregated data cube of mergeable summaries (Figure 1, Section 3.3).
+
+A :class:`DataCube` keeps one summary per distinct tuple of dimension
+values, exactly like the Druid-style deployment the paper targets: given a
+metric column and ``d`` dimension columns, ingestion groups rows by their
+d-tuple and accumulates each group into its own summary.  Roll-up queries
+then *merge* the summaries of every cell matching a filter — no raw data is
+touched, and query cost is ``t_merge * n_merge + t_est`` (Eq. 2).
+
+The cube is engine-agnostic: any :class:`~repro.summaries.base.QuantileSummary`
+factory works, which is how the benchmarks compare summary types under
+identical aggregation plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import QueryError
+from ..summaries.base import QuantileSummary
+
+#: A cube cell key: one value per dimension, in schema order.
+CellKey = tuple
+
+
+@dataclass(frozen=True)
+class CubeSchema:
+    """Dimension names (categorical) for a cube; the metric is implicit."""
+
+    dimensions: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.dimensions:
+            raise QueryError("a cube needs at least one dimension")
+        if len(set(self.dimensions)) != len(self.dimensions):
+            raise QueryError("duplicate dimension names")
+
+    def index_of(self, dimension: str) -> int:
+        try:
+            return self.dimensions.index(dimension)
+        except ValueError:
+            raise QueryError(
+                f"unknown dimension {dimension!r}; have {self.dimensions}") from None
+
+
+class DataCube:
+    """Summary-per-cell data cube with mergeable roll-ups."""
+
+    def __init__(self, schema: CubeSchema,
+                 summary_factory: Callable[[], QuantileSummary]):
+        self.schema = schema
+        self.summary_factory = summary_factory
+        self.cells: dict[CellKey, QuantileSummary] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, dimension_columns: Sequence[np.ndarray],
+               values: np.ndarray) -> None:
+        """Group rows by dimension tuple and accumulate per-cell summaries.
+
+        ``dimension_columns`` holds one array per schema dimension, aligned
+        with ``values``.  Grouping is vectorized (lexicographic sort +
+        boundary detection), so ingestion is a single pass.
+        """
+        if len(dimension_columns) != len(self.schema.dimensions):
+            raise QueryError(
+                f"expected {len(self.schema.dimensions)} dimension columns, "
+                f"got {len(dimension_columns)}")
+        values = np.asarray(values, dtype=float)
+        columns = [np.asarray(col) for col in dimension_columns]
+        for col in columns:
+            if col.shape[0] != values.shape[0]:
+                raise QueryError("dimension column length mismatch")
+        order = np.lexsort(tuple(reversed(columns)))
+        sorted_cols = [col[order] for col in columns]
+        sorted_values = values[order]
+        boundary = np.zeros(values.shape[0], dtype=bool)
+        boundary[0] = True
+        for col in sorted_cols:
+            boundary[1:] |= col[1:] != col[:-1]
+        starts = np.flatnonzero(boundary)
+        ends = np.append(starts[1:], values.shape[0])
+        for start, end in zip(starts, ends):
+            key = tuple(col[start] for col in sorted_cols)
+            cell = self.cells.get(key)
+            if cell is None:
+                cell = self.summary_factory()
+                self.cells[key] = cell
+            cell.accumulate(sorted_values[start:end])
+
+    def insert_cell(self, key: CellKey, summary: QuantileSummary) -> None:
+        """Install a pre-built summary (merging if the cell exists)."""
+        key = tuple(key)
+        if len(key) != len(self.schema.dimensions):
+            raise QueryError("cell key arity mismatch")
+        existing = self.cells.get(key)
+        if existing is None:
+            self.cells[key] = summary
+        else:
+            existing.merge(summary)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    def matching_cells(self, filters: Mapping[str, object] | None = None
+                       ) -> Iterable[tuple[CellKey, QuantileSummary]]:
+        """Cells whose key matches every (dimension == value) filter."""
+        if not filters:
+            yield from self.cells.items()
+            return
+        positions = {self.schema.index_of(dim): value
+                     for dim, value in filters.items()}
+        for key, summary in self.cells.items():
+            if all(key[pos] == value for pos, value in positions.items()):
+                yield key, summary
+
+    def rollup(self, filters: Mapping[str, object] | None = None) -> QuantileSummary:
+        """Merge every matching cell into a fresh aggregate (Figure 1).
+
+        This is the hot path the paper optimizes: one ``merge`` per
+        matching cell.
+        """
+        aggregate: QuantileSummary | None = None
+        merges = 0
+        for _, summary in self.matching_cells(filters):
+            if aggregate is None:
+                aggregate = summary.copy()
+            else:
+                aggregate.merge(summary)
+            merges += 1
+        if aggregate is None:
+            raise QueryError(f"no cells match filter {dict(filters or {})}")
+        self.last_merge_count = merges
+        return aggregate
+
+    def quantile(self, phi: float,
+                 filters: Mapping[str, object] | None = None) -> float:
+        """Roll up matching cells and estimate a quantile (Eq. 2's plan)."""
+        return self.rollup(filters).quantile(phi)
+
+    def group_by(self, dimension: str,
+                 filters: Mapping[str, object] | None = None
+                 ) -> dict[object, QuantileSummary]:
+        """Merged aggregate per distinct value of ``dimension``.
+
+        The building block for threshold queries (Eq. 3): each group's
+        summary can then be tested against a predicate.
+        """
+        position = self.schema.index_of(dimension)
+        groups: dict[object, QuantileSummary] = {}
+        for key, summary in self.matching_cells(filters):
+            value = key[position]
+            existing = groups.get(value)
+            if existing is None:
+                groups[value] = summary.copy()
+            else:
+                existing.merge(summary)
+        if not groups:
+            raise QueryError(f"no cells match filter {dict(filters or {})}")
+        return groups

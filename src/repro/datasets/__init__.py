@@ -1,0 +1,15 @@
+"""Evaluation datasets: synthetic stand-ins for the paper's Table 1 data."""
+
+from .registry import EVALUATION_DATASETS, available, load, spec
+from .synthetic import (
+    DatasetSpec, SPECS, summary_statistics,
+    gamma_skew, gaussian_with_outliers, uniform_discrete,
+)
+from .production import ProductionCell, generate_cells, all_values
+
+__all__ = [
+    "EVALUATION_DATASETS", "available", "load", "spec",
+    "DatasetSpec", "SPECS", "summary_statistics",
+    "gamma_skew", "gaussian_with_outliers", "uniform_discrete",
+    "ProductionCell", "generate_cells", "all_values",
+]

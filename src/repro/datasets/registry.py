@@ -1,0 +1,60 @@
+"""Named access to the evaluation datasets.
+
+``load(name, n, seed)`` returns the synthetic stand-in for any Table 1
+dataset; ``available()`` lists them.  Generated arrays are memoized per
+(name, n, seed) because benchmarks re-request the same data repeatedly.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+import numpy as np
+
+from ..core.errors import DatasetError
+from . import synthetic
+
+_GENERATORS: dict[str, Callable[..., np.ndarray]] = {
+    "milan": synthetic.milan,
+    "hepmass": synthetic.hepmass,
+    "occupancy": synthetic.occupancy,
+    "retail": synthetic.retail,
+    "power": synthetic.power,
+    "exponential": synthetic.exponential,
+}
+
+#: Datasets used in the headline evaluation figures, in paper order.
+EVALUATION_DATASETS = ("milan", "hepmass", "occupancy", "retail", "power", "exponential")
+
+
+def available() -> tuple[str, ...]:
+    """Names accepted by :func:`load`."""
+    return tuple(_GENERATORS)
+
+
+@functools.lru_cache(maxsize=32)
+def _load_cached(name: str, n: int, seed: int) -> np.ndarray:
+    data = _GENERATORS[name](n=n, seed=seed)
+    data.setflags(write=False)
+    return data
+
+
+def load(name: str, n: int = 200_000, seed: int = 0) -> np.ndarray:
+    """Generate (or fetch cached) dataset ``name`` with ``n`` rows.
+
+    The returned array is read-only; copy before mutating.
+    """
+    if name not in _GENERATORS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(_GENERATORS)}")
+    if n < 1:
+        raise DatasetError(f"n must be positive, got {n}")
+    return _load_cached(name, int(n), int(seed))
+
+
+def spec(name: str) -> synthetic.DatasetSpec:
+    """Published Table 1 characteristics for ``name``."""
+    if name not in synthetic.SPECS:
+        raise DatasetError(f"no spec for dataset {name!r}")
+    return synthetic.SPECS[name]

@@ -1,0 +1,13 @@
+"""Druid-like analytics engine with pluggable aggregators (Section 7.1)."""
+
+from .aggregators import (
+    AggregatorFactory, AggregatorState, DoubleSumAggregator,
+    MomentsSketchAggregator, StreamingHistogramAggregator, registry,
+)
+from .engine import DruidEngine, QueryResult, Segment, top_n_by_quantile
+
+__all__ = [
+    "AggregatorFactory", "AggregatorState", "DoubleSumAggregator",
+    "MomentsSketchAggregator", "StreamingHistogramAggregator", "registry",
+    "DruidEngine", "QueryResult", "Segment", "top_n_by_quantile",
+]

@@ -1,0 +1,292 @@
+"""A self-contained Druid-like analytics engine (Section 7.1).
+
+Implements the subset of Druid's architecture the paper's end-to-end
+benchmark exercises:
+
+* **Ingestion** rolls raw (timestamp, dimensions, value) rows up at a
+  configurable time granularity: rows in the same time bucket with the
+  same dimension tuple collapse into one pre-aggregated cube cell holding
+  an aggregator state per configured aggregator (Druid "roll-up").
+* **Segments** partition cells by time chunk and are scanned independently.
+* The **broker** answers quantile/sum queries by scanning matching cells,
+  merging their states (optionally across a small processing-thread pool —
+  the paper's quickstart config uses 2), and finalizing once.
+
+The moments sketch and S-Hist enter through the aggregator plug-in API in
+:mod:`.aggregators`, so the comparison of Figure 11 runs the same plan for
+every aggregator and differs only in merge/finalize cost.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import QueryError
+from .aggregators import AggregatorFactory, AggregatorState
+
+
+@dataclass
+class Segment:
+    """One time chunk: cube cells keyed by dimension tuple."""
+
+    chunk: int
+    cells: dict[tuple, dict[str, AggregatorState]] = field(default_factory=dict)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Finalized value plus the execution profile the benchmarks report."""
+
+    value: float
+    cells_scanned: int
+    merge_seconds: float
+    finalize_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.merge_seconds + self.finalize_seconds
+
+
+class DruidEngine:
+    """Minimal Druid: ingestion, segments, and a broker with a thread pool."""
+
+    def __init__(self, dimensions: Sequence[str],
+                 aggregators: Mapping[str, AggregatorFactory],
+                 granularity: float = 3600.0,
+                 processing_threads: int = 2):
+        if not dimensions:
+            raise QueryError("need at least one dimension")
+        self.dimensions = tuple(dimensions)
+        self.aggregators = dict(aggregators)
+        self.granularity = float(granularity)
+        self.processing_threads = max(int(processing_threads), 1)
+        self.segments: dict[int, Segment] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, timestamps: np.ndarray,
+               dimension_columns: Sequence[np.ndarray],
+               values: np.ndarray) -> None:
+        """Roll up rows into per-(chunk, dimension-tuple) aggregator states."""
+        if len(dimension_columns) != len(self.dimensions):
+            raise QueryError(
+                f"expected {len(self.dimensions)} dimension columns")
+        timestamps = np.asarray(timestamps, dtype=float)
+        values = np.asarray(values, dtype=float)
+        chunks = np.floor(timestamps / self.granularity).astype(int)
+        columns = [np.asarray(col) for col in dimension_columns]
+        order = np.lexsort(tuple(reversed(columns)) + (chunks,))
+        chunks = chunks[order]
+        columns = [col[order] for col in columns]
+        values = values[order]
+        boundary = np.zeros(values.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] |= chunks[1:] != chunks[:-1]
+        for col in columns:
+            boundary[1:] |= col[1:] != col[:-1]
+        starts = np.flatnonzero(boundary)
+        ends = np.append(starts[1:], values.size)
+        for start, end in zip(starts, ends):
+            chunk = int(chunks[start])
+            key = tuple(col[start] for col in columns)
+            segment = self.segments.setdefault(chunk, Segment(chunk=chunk))
+            cell = segment.cells.get(key)
+            if cell is None:
+                cell = {name: factory.create()
+                        for name, factory in self.aggregators.items()}
+                segment.cells[key] = cell
+            batch = values[start:end]
+            for state in cell.values():
+                state.aggregate(batch)
+
+    @property
+    def num_cells(self) -> int:
+        return sum(segment.num_cells for segment in self.segments.values())
+
+    # ------------------------------------------------------------------
+    # Broker
+    # ------------------------------------------------------------------
+
+    def _matching_states(self, aggregator: str,
+                         filters: Mapping[str, object] | None,
+                         interval: tuple[float, float] | None
+                         ) -> list[AggregatorState]:
+        if aggregator not in self.aggregators:
+            raise QueryError(f"unknown aggregator {aggregator!r}; "
+                             f"registered: {sorted(self.aggregators)}")
+        positions = {}
+        if filters:
+            for dim, value in filters.items():
+                if dim not in self.dimensions:
+                    raise QueryError(f"unknown dimension {dim!r}")
+                positions[self.dimensions.index(dim)] = value
+        chunk_range = None
+        if interval is not None:
+            chunk_range = (int(np.floor(interval[0] / self.granularity)),
+                           int(np.floor(interval[1] / self.granularity)))
+        states = []
+        for chunk, segment in self.segments.items():
+            if chunk_range is not None and not chunk_range[0] <= chunk <= chunk_range[1]:
+                continue
+            for key, cell in segment.cells.items():
+                if all(key[pos] == value for pos, value in positions.items()):
+                    states.append(cell[aggregator])
+        return states
+
+    def query(self, aggregator: str, phi: float = 0.5,
+              filters: Mapping[str, object] | None = None,
+              interval: tuple[float, float] | None = None) -> QueryResult:
+        """Scan matching cells, merge states, finalize (the Eq. 2 plan).
+
+        ``phi`` reaches the aggregator's ``finalize`` (quantile aggregators
+        use it; ``sum`` ignores it).  Merging shards across the processing
+        thread pool as Druid's historical nodes do.
+        """
+        states = self._matching_states(aggregator, filters, interval)
+        if not states:
+            raise QueryError("query matched no cells")
+        start = time.perf_counter()
+        merged = self._merge_states(states)
+        merge_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        value = merged.finalize(phi=phi)
+        finalize_seconds = time.perf_counter() - start
+        return QueryResult(value=value, cells_scanned=len(states),
+                           merge_seconds=merge_seconds,
+                           finalize_seconds=finalize_seconds)
+
+    def _merge_states(self, states: list[AggregatorState]) -> AggregatorState:
+        def fold(shard: list[AggregatorState]) -> AggregatorState:
+            aggregate = shard[0].copy()
+            for state in shard[1:]:
+                aggregate.merge(state)
+            return aggregate
+
+        if self.processing_threads == 1 or len(states) < 2 * self.processing_threads:
+            return fold(states)
+        shard_size = (len(states) + self.processing_threads - 1) // self.processing_threads
+        shards = [states[i:i + shard_size]
+                  for i in range(0, len(states), shard_size)]
+        with ThreadPoolExecutor(max_workers=self.processing_threads) as pool:
+            partials = list(pool.map(fold, shards))
+        return fold(partials)
+
+    def group_by(self, aggregator: str, dimension: str, phi: float = 0.5,
+                 filters: Mapping[str, object] | None = None
+                 ) -> dict[object, float]:
+        """Per-dimension-value finalized results (Druid groupBy query)."""
+        if dimension not in self.dimensions:
+            raise QueryError(f"unknown dimension {dimension!r}")
+        position = self.dimensions.index(dimension)
+        groups: dict[object, AggregatorState] = {}
+        for segment in self.segments.values():
+            for key, cell in segment.cells.items():
+                if filters and any(
+                        key[self.dimensions.index(d)] != v
+                        for d, v in filters.items()):
+                    continue
+                value = key[position]
+                if value in groups:
+                    groups[value].merge(cell[aggregator])
+                else:
+                    groups[value] = cell[aggregator].copy()
+        return {value: state.finalize(phi=phi) for value, state in groups.items()}
+
+
+def top_n_by_quantile(engine: DruidEngine, aggregator: str, dimension: str,
+                      n: int, phi: float = 0.99,
+                      filters: Mapping[str, object] | None = None
+                      ) -> list[tuple[object, float]]:
+    """Druid-style topN: the n dimension values with the largest phi-quantile.
+
+    For moments-sketch aggregators the candidate set is pruned with RTT
+    rank bounds before any max-entropy solve: a group whose *best possible*
+    quantile (from its rank bounds) cannot beat the n-th group's *worst
+    possible* quantile is discarded without estimation — the same
+    bounds-before-estimates principle as the threshold cascade (Section 5),
+    applied to a ranking query.  Other aggregators estimate every group.
+
+    Returns (dimension value, quantile estimate) pairs, best first.
+    """
+    from ..core.bounds import rtt_bound
+    from ..summaries.moments_summary import MomentsSummary
+
+    if n < 1:
+        raise QueryError(f"n must be positive, got {n}")
+    if dimension not in engine.dimensions:
+        raise QueryError(f"unknown dimension {dimension!r}")
+    position = engine.dimensions.index(dimension)
+    groups: dict[object, AggregatorState] = {}
+    for segment in engine.segments.values():
+        for key, cell in segment.cells.items():
+            if filters and any(key[engine.dimensions.index(d)] != v
+                               for d, v in filters.items()):
+                continue
+            if aggregator not in cell:
+                raise QueryError(f"unknown aggregator {aggregator!r}")
+            value = key[position]
+            if value in groups:
+                groups[value].merge(cell[aggregator])
+            else:
+                groups[value] = cell[aggregator].copy()
+    if not groups:
+        raise QueryError("query matched no cells")
+
+    sketches = {
+        value: state.summary.sketch
+        for value, state in groups.items()
+        if hasattr(state, "summary") and isinstance(state.summary, MomentsSummary)
+    }
+    if len(sketches) == len(groups) and len(groups) > n:
+        # Bound-based pruning.  For each group, bracket its phi-quantile:
+        # invert the RTT rank bounds at the support edges via bisection on
+        # candidate thresholds drawn from the group's own range.
+        brackets = {}
+        for value, sketch in sketches.items():
+            lo, hi = _quantile_bracket(sketch, phi, rtt_bound)
+            brackets[value] = (lo, hi)
+        # n-th largest guaranteed-lower-bound; groups whose upper bound
+        # falls below it cannot make the list.
+        floors = sorted((b[0] for b in brackets.values()), reverse=True)
+        cutoff = floors[n - 1]
+        candidates = [value for value, (lo, hi) in brackets.items()
+                      if hi >= cutoff]
+    else:
+        candidates = list(groups)
+
+    scored = [(value, groups[value].finalize(phi=phi)) for value in candidates]
+    scored.sort(key=lambda pair: pair[1], reverse=True)
+    return scored[:n]
+
+
+def _quantile_bracket(sketch, phi: float, bound_fn) -> tuple[float, float]:
+    """[lower, upper] interval guaranteed to contain the phi-quantile.
+
+    Bisects on the threshold t: F(t) bounds from the moment inequalities
+    tell us whether the phi-quantile must lie above or below t.
+    """
+    lo, hi = sketch.min, sketch.max
+    target = phi * sketch.count
+    for _ in range(20):
+        mid = 0.5 * (lo + hi)
+        bounds = bound_fn(sketch, mid)
+        if bounds.upper < target:
+            lo = mid          # quantile certainly above mid
+        elif bounds.lower > target:
+            hi = mid          # quantile certainly below mid
+        else:
+            break             # undecidable: the bracket is [lo, hi]
+    # Conservative expansion: the undecided region around mid belongs to
+    # both sides, so return the outer bracket.
+    return lo, hi

@@ -1,0 +1,36 @@
+"""Alternative moment-based quantile estimators (the Figure 10 lesion study)."""
+
+from .base import MomentEstimator, MomentProblem, build_problem
+from .closed_form import GaussianEstimator, MnatsakanovEstimator
+from .discretized import CvxMaxEntEstimator, CvxMinEstimator, SvdEstimator
+from .maxent_variants import BfgsEstimator, NaiveNewtonEstimator, OptEstimator
+
+#: Figure 10 x-axis order.
+LESION_ESTIMATORS = (
+    "gaussian", "mnat", "svd", "cvx-min", "cvx-maxent", "newton", "bfgs", "opt",
+)
+
+
+def make_estimator(name: str, **kwargs) -> MomentEstimator:
+    """Instantiate a lesion-study estimator by its Figure 10 name."""
+    classes = {
+        "gaussian": GaussianEstimator,
+        "mnat": MnatsakanovEstimator,
+        "svd": SvdEstimator,
+        "cvx-min": CvxMinEstimator,
+        "cvx-maxent": CvxMaxEntEstimator,
+        "newton": NaiveNewtonEstimator,
+        "bfgs": BfgsEstimator,
+        "opt": OptEstimator,
+    }
+    if name not in classes:
+        raise ValueError(f"unknown estimator {name!r}; known: {sorted(classes)}")
+    return classes[name](**kwargs)
+
+
+__all__ = [
+    "MomentEstimator", "MomentProblem", "build_problem", "make_estimator",
+    "LESION_ESTIMATORS", "GaussianEstimator", "MnatsakanovEstimator",
+    "SvdEstimator", "CvxMinEstimator", "CvxMaxEntEstimator",
+    "NaiveNewtonEstimator", "BfgsEstimator", "OptEstimator",
+]

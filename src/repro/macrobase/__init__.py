@@ -1,0 +1,11 @@
+"""Simplified MacroBase threshold-search engine (Section 7.2.1)."""
+
+from .engine import (
+    MacroBaseEngine, MacroBaseReport, MomentsCube, OutlierGroup,
+    merge12a_query, merge12b_query,
+)
+
+__all__ = [
+    "MacroBaseEngine", "MacroBaseReport", "MomentsCube", "OutlierGroup",
+    "merge12a_query", "merge12b_query",
+]

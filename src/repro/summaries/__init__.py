@@ -1,0 +1,37 @@
+"""Mergeable quantile summaries: the paper's comparison set (Section 6.1).
+
+``SUMMARY_REGISTRY`` maps the paper's display names to constructors so
+benchmark harnesses can instantiate the whole comparison from Table 2-style
+parameter dictionaries.
+"""
+
+from .base import QuantileSummary, weighted_quantile
+from .exact import ExactSummary
+from .ew_hist import EquiWidthHistogramSummary
+from .gk import GKSummary
+from .merge12 import Merge12Summary
+from .moments_summary import MomentsSummary
+from .random_sketch import RandomSummary
+from .s_hist import StreamingHistogramSummary
+from .sampling import SamplingSummary
+from .tdigest import TDigestSummary
+
+#: Paper display name -> summary class.
+SUMMARY_REGISTRY: dict[str, type[QuantileSummary]] = {
+    "M-Sketch": MomentsSummary,
+    "Merge12": Merge12Summary,
+    "RandomW": RandomSummary,
+    "GK": GKSummary,
+    "T-Digest": TDigestSummary,
+    "Sampling": SamplingSummary,
+    "S-Hist": StreamingHistogramSummary,
+    "EW-Hist": EquiWidthHistogramSummary,
+    "Exact": ExactSummary,
+}
+
+__all__ = [
+    "QuantileSummary", "weighted_quantile", "SUMMARY_REGISTRY",
+    "MomentsSummary", "Merge12Summary", "RandomSummary", "GKSummary",
+    "TDigestSummary", "SamplingSummary", "StreamingHistogramSummary",
+    "EquiWidthHistogramSummary", "ExactSummary",
+]

@@ -1,0 +1,114 @@
+"""Common interface for mergeable quantile summaries (Section 3.2).
+
+Every summary evaluated in the paper implements the same contract so the
+workload harness, the data cube, and the engines can treat them uniformly —
+the paper's point that mergeable summaries are "algebraic aggregate
+functions" pluggable into any aggregation system.
+
+``accumulate`` ingests raw values; ``merge`` folds another summary of the
+same type/parameterization in place; ``quantile`` answers phi-quantile
+queries; ``size_bytes`` reports the serialized footprint used for the
+size-accuracy tradeoff plots.  ``error_upper_bound`` exposes each summary's
+*guaranteed* worst-case rank error where one exists (Appendix E /
+Figure 23); summaries without guarantees return ``None``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence, TypeVar
+
+import numpy as np
+
+S = TypeVar("S", bound="QuantileSummary")
+
+
+class QuantileSummary(abc.ABC):
+    """Abstract mergeable quantile summary."""
+
+    #: Short display name matching the paper's figures (e.g. "GK").
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Required interface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def accumulate(self, values: Iterable[float]) -> None:
+        """Ingest raw values (scalar, iterable, or numpy array)."""
+
+    @abc.abstractmethod
+    def merge(self, other: "QuantileSummary") -> "QuantileSummary":
+        """Fold ``other`` into this summary in place; returns ``self``."""
+
+    @abc.abstractmethod
+    def quantile(self, phi: float) -> float:
+        """Estimate the phi-quantile of everything ingested so far."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate serialized size in bytes (for size/accuracy plots)."""
+
+    @abc.abstractmethod
+    def copy(self: S) -> S:
+        """Deep copy; the original must be unaffected by future updates."""
+
+    @property
+    @abc.abstractmethod
+    def count(self) -> float:
+        """Number of values ingested."""
+
+    # ------------------------------------------------------------------
+    # Shared conveniences
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_data(cls: type[S], data, **params) -> S:
+        summary = cls(**params)
+        summary.accumulate(data)
+        return summary
+
+    def quantiles(self, phis: Sequence[float]) -> np.ndarray:
+        return np.asarray([self.quantile(float(p)) for p in phis])
+
+    def error_upper_bound(self, phi: float) -> float | None:
+        """Guaranteed worst-case rank error at phi, or None if no guarantee."""
+        return None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def _check_type(self, other: "QuantileSummary") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"{type(self).__name__}(n={self.count:.0f}, "
+                f"{self.size_bytes()} bytes)")
+
+
+def as_array(values) -> np.ndarray:
+    """Normalize accumulate() input to a 1-d float array."""
+    x = np.atleast_1d(np.asarray(values, dtype=float))
+    if x.ndim != 1:
+        x = x.ravel()
+    return x
+
+
+def weighted_quantile(values: np.ndarray, weights: np.ndarray, phi: float) -> float:
+    """phi-quantile of a weighted empirical distribution.
+
+    Shared by the buffer-based sketches (Merge12, RandomW, Sampling): sort by
+    value, walk the cumulative weight to rank phi * W.
+    """
+    if values.size == 0:
+        raise ValueError("empty weighted sample")
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    cumulative = np.cumsum(weights[order])
+    target = phi * cumulative[-1]
+    index = int(np.searchsorted(cumulative, target, side="left"))
+    index = min(index, sorted_values.size - 1)
+    return float(sorted_values[index])

@@ -1,0 +1,177 @@
+"""Mergeable equi-width histogram with power-of-two ranges ("EW-Hist") [65].
+
+Bins of identical width ``2^e`` aligned to a global grid (bin boundaries at
+integer multiples of the width).  Keeping widths to powers of two aligned to
+the same grid makes merging *exact*: two histograms can always be brought to
+a common width by halving resolution (pairwise bin addition), never by
+splitting — the trick JetStream [65] uses for degradable aggregations.
+
+When incoming data exceeds the covered range or the bin budget, the width
+doubles and adjacent bins collapse.  Estimates interpolate uniformly within
+a bin, so accuracy is poor on long-tailed data (milan/retail in Figure 7)
+while merges are among the fastest of the comparison — exactly the tradeoff
+the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .base import QuantileSummary, as_array
+
+
+class EquiWidthHistogramSummary(QuantileSummary):
+    """Equi-width histogram with power-of-two bucket widths."""
+
+    name = "EW-Hist"
+
+    def __init__(self, max_bins: int = 100):
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.max_bins = int(max_bins)
+        self._counts = np.zeros(0)
+        self._exponent = 0          # bin width = 2 ** exponent
+        self._origin = 0            # left edge = origin * width (grid units)
+        self._min = np.inf
+        self._max = -np.inf
+        self._count = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return 2.0 ** self._exponent
+
+    def accumulate(self, values: Iterable[float]) -> None:
+        x = as_array(values)
+        if x.size == 0:
+            return
+        self._count += x.size
+        self._min = min(self._min, float(x.min()))
+        self._max = max(self._max, float(x.max()))
+        if self._counts.size == 0:
+            self._initialize_range(float(x.min()), float(x.max()))
+        self._cover(float(x.min()), float(x.max()))
+        indices = np.floor(x / self.width).astype(int) - self._origin
+        np.add.at(self._counts, np.clip(indices, 0, self._counts.size - 1), 1.0)
+
+    def _initialize_range(self, lo: float, hi: float) -> None:
+        span = max(hi - lo, 1e-9)
+        exponent = math.ceil(math.log2(span / self.max_bins))
+        self._exponent = exponent
+        self._origin = math.floor(lo / 2.0 ** exponent)
+        bins = math.floor(hi / 2.0 ** exponent) - self._origin + 1
+        self._counts = np.zeros(max(bins, 1))
+
+    def _cover(self, lo: float, hi: float) -> None:
+        """Grow (and if needed coarsen) until [lo, hi] fits in the budget."""
+        while True:
+            width = self.width
+            first = math.floor(lo / width)
+            last = math.floor(hi / width)
+            new_origin = min(self._origin, first)
+            new_end = max(self._origin + self._counts.size - 1, last)
+            needed = new_end - new_origin + 1
+            if needed <= self.max_bins:
+                if new_origin < self._origin or needed > self._counts.size:
+                    grown = np.zeros(needed)
+                    offset = self._origin - new_origin
+                    grown[offset:offset + self._counts.size] = self._counts
+                    self._counts = grown
+                    self._origin = new_origin
+                return
+            self._halve_resolution()
+
+    def _halve_resolution(self) -> None:
+        """Double the bin width: pairwise-add bins on the aligned grid."""
+        new_origin = self._origin >> 1
+        # Align: if origin is odd, prepend an empty bin so pairs line up.
+        counts = self._counts
+        if self._origin % 2 != 0:
+            counts = np.concatenate([[0.0], counts])
+        if counts.size % 2 != 0:
+            counts = np.concatenate([counts, [0.0]])
+        self._counts = counts[0::2] + counts[1::2]
+        self._origin = new_origin
+        self._exponent += 1
+
+    def merge(self, other: "QuantileSummary") -> "EquiWidthHistogramSummary":
+        self._check_type(other)
+        assert isinstance(other, EquiWidthHistogramSummary)
+        if other._counts.size == 0:
+            return self
+        if self._counts.size == 0:
+            for attr in ("_counts", "_exponent", "_origin", "_min", "_max", "_count"):
+                setattr(self, attr, getattr(other, attr))
+            self._counts = other._counts.copy()
+            return self
+        other_copy = other.copy()
+        # Bring both to the coarser common width (halving is exact).
+        while self._exponent < other_copy._exponent:
+            self._halve_resolution()
+        while other_copy._exponent < self._exponent:
+            other_copy._halve_resolution()
+        self._min = min(self._min, other_copy._min)
+        self._max = max(self._max, other_copy._max)
+        self._count += other_copy._count
+        self._cover(other_copy._origin * self.width,
+                    (other_copy._origin + other_copy._counts.size) * self.width * (1 - 1e-12))
+        offset = other_copy._origin - self._origin
+        span = other_copy._counts.size
+        if offset < 0 or offset + span > self._counts.size:
+            # _cover may itself have halved; re-align the other side.
+            while other_copy._exponent < self._exponent:
+                other_copy._halve_resolution()
+            offset = other_copy._origin - self._origin
+            span = other_copy._counts.size
+        self._counts[offset:offset + span] += other_copy._counts
+        return self
+
+    # ------------------------------------------------------------------
+
+    def quantile(self, phi: float) -> float:
+        if self._count == 0:
+            raise ValueError("empty summary")
+        total = self._counts.sum()
+        target = min(max(phi, 0.0), 1.0) * total
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        index = min(index, self._counts.size - 1)
+        prev = cumulative[index - 1] if index > 0 else 0.0
+        in_bin = self._counts[index]
+        frac = (target - prev) / in_bin if in_bin > 0 else 0.5
+        left = (self._origin + index) * self.width
+        estimate = left + frac * self.width
+        return float(np.clip(estimate, self._min, self._max))
+
+    def size_bytes(self) -> int:
+        # 8 bytes per bucket count plus width/origin/extrema metadata, the
+        # accounting used for the paper's EW-Hist size axis.
+        return 8 * self._counts.size + 12
+
+    def copy(self) -> "EquiWidthHistogramSummary":
+        out = EquiWidthHistogramSummary(self.max_bins)
+        out._counts = self._counts.copy()
+        out._exponent = self._exponent
+        out._origin = self._origin
+        out._min = self._min
+        out._max = self._max
+        out._count = self._count
+        return out
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    def error_upper_bound(self, phi: float) -> float | None:
+        """Largest bin's mass fraction: a query can be off by a full bin."""
+        if self._count == 0:
+            return None
+        return float(self._counts.max() / self._counts.sum())
+
+    @property
+    def bin_count(self) -> int:
+        return self._counts.size

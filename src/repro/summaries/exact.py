@@ -1,0 +1,80 @@
+"""Exact quantile "summary": retains every value.
+
+Used as ground truth in tests and as the "select an exact quantile online"
+baseline of Section 6.2.1.  Mergeable trivially (concatenation), at O(n)
+space — the thing every sketch in this repository exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .base import QuantileSummary, as_array
+
+
+class ExactSummary(QuantileSummary):
+    """Stores the full dataset; quantiles are exact order statistics."""
+
+    name = "Exact"
+
+    def __init__(self):
+        self._chunks: list[np.ndarray] = []
+        self._sorted: np.ndarray | None = None
+        self._count = 0.0
+
+    def accumulate(self, values: Iterable[float]) -> None:
+        x = as_array(values)
+        if x.size == 0:
+            return
+        self._chunks.append(x)
+        self._sorted = None
+        self._count += x.size
+
+    def merge(self, other: "QuantileSummary") -> "ExactSummary":
+        self._check_type(other)
+        assert isinstance(other, ExactSummary)
+        self._chunks.extend(chunk.copy() for chunk in other._chunks)
+        self._sorted = None
+        self._count += other._count
+        return self
+
+    def _materialize(self) -> np.ndarray:
+        if self._sorted is None:
+            if not self._chunks:
+                raise ValueError("empty summary")
+            self._sorted = np.sort(np.concatenate(self._chunks))
+            self._chunks = [self._sorted]
+        return self._sorted
+
+    def quantile(self, phi: float) -> float:
+        data = self._materialize()
+        # Rank definition from Section 3.1: the item with rank floor(phi n).
+        rank = int(np.floor(min(max(phi, 0.0), 1.0) * data.size))
+        return float(data[min(rank, data.size - 1)])
+
+    def rank(self, t: float) -> int:
+        """Number of elements strictly below ``t`` (Section 3.1)."""
+        return int(np.searchsorted(self._materialize(), t, side="left"))
+
+    def quantile_error(self, estimate: float, phi: float) -> float:
+        """Paper Eq. (1): |rank(estimate) - floor(phi n)| / n."""
+        data = self._materialize()
+        return abs(self.rank(estimate) - np.floor(phi * data.size)) / data.size
+
+    def size_bytes(self) -> int:
+        return int(8 * self._count)
+
+    def copy(self) -> "ExactSummary":
+        out = ExactSummary()
+        out._chunks = [chunk.copy() for chunk in self._chunks]
+        out._count = self._count
+        return out
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    def error_upper_bound(self, phi: float) -> float | None:
+        return 0.0

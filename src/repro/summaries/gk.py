@@ -1,0 +1,202 @@
+"""Greenwald-Khanna quantile summary, GKArray variant [34, 52].
+
+The summary keeps a sorted array of tuples ``(v, g, delta)``: ``v`` a seen
+value, ``g`` the number of stream elements represented by the tuple, and
+``delta`` the uncertainty of the tuple's rank.  The GK invariant
+``g_i + delta_i <= 2 * epsilon * n`` guarantees epsilon-approximate ranks.
+
+This is the batch-oriented "GKArray" formulation benchmarked by Luo et
+al. [52]: incoming values buffer up, are sorted, merge-joined into the tuple
+array, and a single left-to-right compression pass restores the invariant.
+
+Merging concatenates the two tuple arrays (deltas intact) and compresses
+against the combined count.  As the paper notes (Section 6.1 and App. D.4),
+GK is not strictly mergeable: the array can grow substantially under
+repeated merging of heterogeneous summaries — reproducing that behaviour is
+part of the point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .base import QuantileSummary, as_array
+
+_BUFFER_LIMIT = 512
+
+
+class GKSummary(QuantileSummary):
+    """epsilon-approximate GK summary (GKArray flavor).
+
+    Parameters
+    ----------
+    epsilon:
+        Target rank-error guarantee; the array holds O((1/epsilon) log(en))
+        tuples.
+    """
+
+    name = "GK"
+
+    def __init__(self, epsilon: float = 1.0 / 64):
+        if not 0 < epsilon < 0.5:
+            raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        self.epsilon = float(epsilon)
+        self._values = np.zeros(0)
+        self._g = np.zeros(0)
+        self._delta = np.zeros(0)
+        self._count = 0.0
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+
+    # ------------------------------------------------------------------
+
+    def accumulate(self, values: Iterable[float]) -> None:
+        x = as_array(values)
+        if x.size == 0:
+            return
+        self._buffer.append(x)
+        self._buffered += x.size
+        if self._buffered >= _BUFFER_LIMIT:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        incoming = np.sort(np.concatenate(self._buffer))
+        self._buffer.clear()
+        self._buffered = 0
+        self._count += incoming.size
+        # Merge-join the sorted batch into the tuple array.  New values
+        # enter with g = 1; a value inserted between existing tuples
+        # inherits rank uncertainty from its right neighbour.
+        if self._values.size == 0:
+            self._values = incoming
+            self._g = np.ones(incoming.size)
+            self._delta = np.zeros(incoming.size)
+        else:
+            positions = np.searchsorted(self._values, incoming, side="left")
+            right_delta = np.zeros(incoming.size)
+            interior = positions < self._values.size
+            right_delta[interior] = (self._g[positions[interior]]
+                                     + self._delta[positions[interior]] - 1.0)
+            right_delta = np.clip(right_delta, 0.0, None)
+            self._values = np.insert(self._values, positions, incoming)
+            self._g = np.insert(self._g, positions, np.ones(incoming.size))
+            self._delta = np.insert(self._delta, positions, right_delta)
+        self._compress()
+
+    def _compress(self) -> None:
+        """One pass of GK COMPRESS: absorb tuples into their right
+        neighbour while the invariant budget 2 * epsilon * n allows it."""
+        if self._values.size <= 2:
+            return
+        budget = 2.0 * self.epsilon * self._count
+        values = self._values
+        g = self._g
+        delta = self._delta
+        keep_values = [values[0]]
+        keep_g = [g[0]]
+        keep_delta = [delta[0]]
+        for i in range(1, values.size):
+            if (i < values.size - 1
+                    and keep_g[-1] + g[i] + delta[i] <= budget
+                    and len(keep_values) > 1):
+                # Absorb the previous kept tuple into tuple i.
+                gi = keep_g.pop() + g[i]
+                keep_values.pop()
+                keep_delta.pop()
+                keep_values.append(values[i])
+                keep_g.append(gi)
+                keep_delta.append(delta[i])
+            else:
+                keep_values.append(values[i])
+                keep_g.append(g[i])
+                keep_delta.append(delta[i])
+        self._values = np.asarray(keep_values)
+        self._g = np.asarray(keep_g)
+        self._delta = np.asarray(keep_delta)
+
+    def merge(self, other: "QuantileSummary") -> "GKSummary":
+        """GKArray merge: re-insert the other's tuples as weighted values.
+
+        Each incoming tuple keeps its own rank uncertainty *and* inherits
+        the uncertainty of the covering tuple on this side (the insert
+        rule), so the invariant stays honest.  The inflated deltas resist
+        compression — this is precisely why GK summaries grow when merged
+        (Section 6.1 / Appendix D.4) and reproducing that growth is
+        intentional.
+        """
+        self._check_type(other)
+        assert isinstance(other, GKSummary)
+        self._flush()
+        other_copy = other.copy()
+        other_copy._flush()
+        if other_copy._values.size == 0:
+            return self
+        if self._values.size == 0:
+            self._values = other_copy._values
+            self._g = other_copy._g
+            self._delta = other_copy._delta
+            self._count = other_copy._count
+            return self
+        incoming = other_copy._values
+        positions = np.searchsorted(self._values, incoming, side="left")
+        inherited = np.zeros(incoming.size)
+        interior = positions < self._values.size
+        inherited[interior] = (self._g[positions[interior]]
+                               + self._delta[positions[interior]] - 1.0)
+        new_delta = other_copy._delta + np.clip(inherited, 0.0, None)
+        self._values = np.insert(self._values, positions, incoming)
+        self._g = np.insert(self._g, positions, other_copy._g)
+        self._delta = np.insert(self._delta, positions, new_delta)
+        self._count += other_copy._count
+        self._compress()
+        return self
+
+    # ------------------------------------------------------------------
+
+    def quantile(self, phi: float) -> float:
+        self._flush()
+        if self._values.size == 0:
+            raise ValueError("empty summary")
+        target = phi * self._count
+        # Tuple i's rank lies in [min_rank_i, min_rank_i + delta_i]; return
+        # the tuple whose rank-interval midpoint first covers the target.
+        min_rank = np.cumsum(self._g)
+        midpoints = min_rank + self._delta / 2.0
+        index = int(np.searchsorted(midpoints, target, side="left"))
+        index = min(index, self._values.size - 1)
+        return float(self._values[index])
+
+    def size_bytes(self) -> int:
+        self._flush()
+        # v, g, delta stored as (double, int32, int32) as in [52]: 16 bytes.
+        return 16 * self._values.size + 16
+
+    def copy(self) -> "GKSummary":
+        out = GKSummary(self.epsilon)
+        out._values = self._values.copy()
+        out._g = self._g.copy()
+        out._delta = self._delta.copy()
+        out._count = self._count
+        out._buffer = [b.copy() for b in self._buffer]
+        out._buffered = self._buffered
+        return out
+
+    @property
+    def count(self) -> float:
+        return self._count + self._buffered
+
+    def error_upper_bound(self, phi: float) -> float | None:
+        """Data-dependent guarantee: max (g + delta) / (2 n) over tuples."""
+        self._flush()
+        if self._count == 0:
+            return None
+        return float(np.max(self._g + self._delta)) / (2.0 * self._count)
+
+    @property
+    def tuple_count(self) -> int:
+        self._flush()
+        return self._values.size

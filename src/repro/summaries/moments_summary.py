@@ -1,0 +1,90 @@
+"""Moments sketch adapter to the common summary interface ("M-Sketch").
+
+Wraps :class:`repro.core.MomentsSketch` plus the max-entropy estimator so
+the workload harness and engines can benchmark it against the comparator
+summaries through one API.  The solved estimator is cached and invalidated
+on mutation, mirroring how an engine would finalize an aggregation once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.bounds import quantile_error_bound
+from ..core.errors import ConvergenceError
+from ..core.quantile import QuantileEstimator
+from ..core.sketch import MomentsSketch
+from ..core.solver import SolverConfig
+from .base import QuantileSummary
+
+
+class MomentsSummary(QuantileSummary):
+    """The paper's sketch behind the generic summary interface."""
+
+    name = "M-Sketch"
+
+    def __init__(self, k: int = 10, track_log: bool = True,
+                 config: SolverConfig | None = None):
+        self.sketch = MomentsSketch(k=k, track_log=track_log)
+        self.config = config or SolverConfig()
+        self._estimator: QuantileEstimator | None = None
+
+    @property
+    def k(self) -> int:
+        return self.sketch.k
+
+    # ------------------------------------------------------------------
+
+    def accumulate(self, values: Iterable[float]) -> None:
+        self.sketch.accumulate(values)
+        self._estimator = None
+
+    def merge(self, other: "QuantileSummary") -> "MomentsSummary":
+        self._check_type(other)
+        assert isinstance(other, MomentsSummary)
+        self.sketch.merge(other.sketch)
+        self._estimator = None
+        return self
+
+    def estimator(self) -> QuantileEstimator:
+        """The solved max-entropy model (cached until the next mutation)."""
+        if self._estimator is None:
+            self._estimator = QuantileEstimator.fit(self.sketch, config=self.config,
+                                                    allow_backoff=True)
+        return self._estimator
+
+    def quantile(self, phi: float) -> float:
+        try:
+            return self.estimator().quantile(phi)
+        except ConvergenceError:
+            # Near-discrete data (Figure 8): degrade to the two-point model.
+            from ..core.quantile import safe_estimate_quantiles
+            return float(safe_estimate_quantiles(self.sketch, [phi], self.config)[0])
+
+    def quantiles(self, phis) -> np.ndarray:
+        try:
+            return self.estimator().quantiles(np.asarray(phis, dtype=float))
+        except ConvergenceError:
+            from ..core.quantile import safe_estimate_quantiles
+            return safe_estimate_quantiles(self.sketch, phis, self.config)
+
+    def size_bytes(self) -> int:
+        return self.sketch.size_bytes()
+
+    def copy(self) -> "MomentsSummary":
+        out = MomentsSummary(k=self.sketch.k, track_log=self.sketch.track_log,
+                             config=self.config)
+        out.sketch = self.sketch.copy()
+        return out
+
+    @property
+    def count(self) -> float:
+        return self.sketch.count
+
+    def error_upper_bound(self, phi: float) -> float | None:
+        """RTT-certified worst-case rank error of the estimate (App. E)."""
+        if self.sketch.is_empty:
+            return None
+        return quantile_error_bound(self.sketch, self.quantile(phi), phi)

@@ -1,0 +1,177 @@
+"""Ben-Haim / Tom-Tov streaming histogram [12] — Druid's default ("S-Hist").
+
+A bounded set of ``(centroid, mass)`` bins.  Inserting a value adds a unit
+bin and, if the budget is exceeded, merges the two closest centroids
+(weighted mean).  Merging two histograms concatenates bins and repeats
+closest-pair merging down to the budget.
+
+Quantile queries use the paper's "sum/uniform" interpolation: the CDF at a
+centroid is the mass strictly to its left plus half its own mass, with
+linear (trapezoid) interpolation between centroids.  The authors of [12]
+observe ~5% average quantile error at 100 bins, which is why the paper's
+Druid comparison (Figure 11) needs S-Hist at 1000+ bins to approach
+moments-sketch accuracy on skewed data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .base import QuantileSummary, as_array
+
+_BUFFER_LIMIT = 512
+
+
+class StreamingHistogramSummary(QuantileSummary):
+    """BTT streaming histogram with ``max_bins`` centroid budget."""
+
+    name = "S-Hist"
+
+    def __init__(self, max_bins: int = 100):
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.max_bins = int(max_bins)
+        self._centroids = np.zeros(0)
+        self._masses = np.zeros(0)
+        self._min = np.inf
+        self._max = -np.inf
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+
+    # ------------------------------------------------------------------
+
+    def accumulate(self, values: Iterable[float]) -> None:
+        x = as_array(values)
+        if x.size == 0:
+            return
+        self._min = min(self._min, float(x.min()))
+        self._max = max(self._max, float(x.max()))
+        self._buffer.append(x)
+        self._buffered += x.size
+        if self._buffered >= _BUFFER_LIMIT:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        incoming = np.concatenate(self._buffer)
+        self._buffer.clear()
+        self._buffered = 0
+        # Pre-bucket the batch: identical values collapse for free, then the
+        # standard closest-pair reduction brings us under budget.
+        values, counts = np.unique(incoming, return_counts=True)
+        self._centroids = np.concatenate([self._centroids, values])
+        self._masses = np.concatenate([self._masses, counts.astype(float)])
+        self._sort_bins()
+        self._reduce()
+
+    def _sort_bins(self) -> None:
+        # Sort and collapse exact duplicates produced by concatenation.
+        unique, inverse = np.unique(self._centroids, return_inverse=True)
+        if unique.size != self._centroids.size:
+            masses = np.zeros(unique.size)
+            np.add.at(masses, inverse, self._masses)
+            self._centroids, self._masses = unique, masses
+        else:
+            order = np.argsort(self._centroids, kind="stable")
+            self._centroids = self._centroids[order]
+            self._masses = self._masses[order]
+
+    def _reduce(self) -> None:
+        """Merge closest centroid pairs until within the bin budget.
+
+        Pairs are taken in rounds: each round selects a non-overlapping set
+        of smallest-gap adjacent pairs covering the excess and merges them
+        in one vectorized pass.  This matches the sequential
+        merge-the-closest-pair rule of [12] up to tie-breaking while keeping
+        large merges (e.g. two 1000-bin histograms) out of quadratic
+        Python-loop territory.
+        """
+        while self._centroids.size > self.max_bins:
+            excess = self._centroids.size - self.max_bins
+            gaps = np.diff(self._centroids)
+            order = np.argsort(gaps, kind="stable")
+            blocked = np.zeros(self._centroids.size, dtype=bool)
+            chosen: list[int] = []
+            for i in order:
+                if blocked[i] or blocked[i + 1]:
+                    continue
+                chosen.append(int(i))
+                blocked[i] = blocked[i + 1] = True
+                if len(chosen) >= excess:
+                    break
+            pair = np.asarray(sorted(chosen), dtype=int)
+            mass = self._masses[pair] + self._masses[pair + 1]
+            self._centroids[pair] = (
+                self._centroids[pair] * self._masses[pair]
+                + self._centroids[pair + 1] * self._masses[pair + 1]) / mass
+            self._masses[pair] = mass
+            keep = np.ones(self._centroids.size, dtype=bool)
+            keep[pair + 1] = False
+            self._centroids = self._centroids[keep]
+            self._masses = self._masses[keep]
+
+    def merge(self, other: "QuantileSummary") -> "StreamingHistogramSummary":
+        self._check_type(other)
+        assert isinstance(other, StreamingHistogramSummary)
+        self._flush()
+        other_copy = other.copy()
+        other_copy._flush()
+        if other_copy._centroids.size == 0:
+            return self
+        self._min = min(self._min, other_copy._min)
+        self._max = max(self._max, other_copy._max)
+        self._centroids = np.concatenate([self._centroids, other_copy._centroids])
+        self._masses = np.concatenate([self._masses, other_copy._masses])
+        self._sort_bins()
+        self._reduce()
+        return self
+
+    # ------------------------------------------------------------------
+
+    def quantile(self, phi: float) -> float:
+        self._flush()
+        if self._centroids.size == 0:
+            raise ValueError("empty summary")
+        if self._centroids.size == 1:
+            return float(self._centroids[0])
+        total = self._masses.sum()
+        target = min(max(phi, 0.0), 1.0) * total
+        cumulative = np.cumsum(self._masses) - self._masses / 2.0
+        if target <= cumulative[0]:
+            frac = target / max(cumulative[0], 1e-12)
+            return float(self._min + frac * (self._centroids[0] - self._min))
+        if target >= cumulative[-1]:
+            span = total - cumulative[-1]
+            frac = (target - cumulative[-1]) / max(span, 1e-12)
+            return float(self._centroids[-1] + frac * (self._max - self._centroids[-1]))
+        index = int(np.searchsorted(cumulative, target, side="right")) - 1
+        lo, hi = cumulative[index], cumulative[index + 1]
+        frac = (target - lo) / max(hi - lo, 1e-12)
+        return float(self._centroids[index]
+                     + frac * (self._centroids[index + 1] - self._centroids[index]))
+
+    def size_bytes(self) -> int:
+        self._flush()
+        return 16 * self._centroids.size + 24
+
+    def copy(self) -> "StreamingHistogramSummary":
+        out = StreamingHistogramSummary(self.max_bins)
+        out._centroids = self._centroids.copy()
+        out._masses = self._masses.copy()
+        out._min = self._min
+        out._max = self._max
+        out._buffer = [b.copy() for b in self._buffer]
+        out._buffered = self._buffered
+        return out
+
+    @property
+    def count(self) -> float:
+        return float(self._masses.sum()) + self._buffered
+
+    @property
+    def bin_count(self) -> int:
+        self._flush()
+        return self._centroids.size

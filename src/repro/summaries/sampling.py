@@ -1,0 +1,113 @@
+"""Mergeable reservoir sampling [76].
+
+A uniform random sample of fixed capacity.  Pointwise updates use Vitter's
+algorithm; merging two reservoirs draws each output slot from either input
+with probability proportional to its count, which preserves uniformity over
+the multiset union (the property required for mergeability [3]).
+
+Quantile estimates are sample quantiles, so the error is the usual
+O(1/sqrt(capacity)) sampling error — the paper's Figure 7 shows exactly
+that slow decay versus summary size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .base import QuantileSummary, as_array
+
+
+class SamplingSummary(QuantileSummary):
+    """Fixed-capacity uniform reservoir sample."""
+
+    name = "Sampling"
+
+    def __init__(self, capacity: int = 1000, seed: int | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._reservoir = np.zeros(0)
+        self._count = 0.0
+
+    # ------------------------------------------------------------------
+
+    def accumulate(self, values: Iterable[float]) -> None:
+        x = as_array(values)
+        if x.size == 0:
+            return
+        fill = self.capacity - self._reservoir.size
+        if fill > 0:
+            take = min(fill, x.size)
+            self._reservoir = np.concatenate([self._reservoir, x[:take]])
+            self._count += take
+            x = x[take:]
+        if x.size == 0:
+            return
+        # Vitter's algorithm R, vectorized: element with global index i
+        # (1-based) replaces a random slot with probability capacity / i.
+        indices = self._count + 1.0 + np.arange(x.size)
+        accept = self._rng.random(x.size) < self.capacity / indices
+        slots = self._rng.integers(0, self.capacity, size=x.size)
+        accepted = np.nonzero(accept)[0]
+        # Later stream elements must win slot collisions: iterate in order.
+        for i in accepted:
+            self._reservoir[slots[i]] = x[i]
+        self._count += x.size
+
+    def merge(self, other: "QuantileSummary") -> "SamplingSummary":
+        self._check_type(other)
+        assert isinstance(other, SamplingSummary)
+        if other.capacity != self.capacity:
+            raise ValueError("capacity mismatch")
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._reservoir = other._reservoir.copy()
+            self._count = other._count
+            return self
+        total = self._count + other._count
+        size = min(self.capacity, self._reservoir.size + other._reservoir.size)
+        # Draw each slot from self with probability count_self / total,
+        # sampling without replacement within each side.
+        from_self = self._rng.random(size) < self._count / total
+        need_self = int(from_self.sum())
+        need_other = size - need_self
+        need_self = min(need_self, self._reservoir.size)
+        need_other = min(need_other, other._reservoir.size)
+        picks_self = self._rng.choice(self._reservoir, size=need_self, replace=False)
+        picks_other = self._rng.choice(other._reservoir, size=need_other, replace=False)
+        self._reservoir = np.concatenate([picks_self, picks_other])
+        self._count = total
+        return self
+
+    # ------------------------------------------------------------------
+
+    def quantile(self, phi: float) -> float:
+        if self._reservoir.size == 0:
+            raise ValueError("empty summary")
+        return float(np.quantile(self._reservoir, min(max(phi, 0.0), 1.0)))
+
+    def size_bytes(self) -> int:
+        return 8 * self._reservoir.size + 10
+
+    def copy(self) -> "SamplingSummary":
+        out = SamplingSummary(self.capacity)
+        out._rng = np.random.default_rng(self._rng.integers(0, 2 ** 63))
+        out._reservoir = self._reservoir.copy()
+        out._count = self._count
+        return out
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    def error_upper_bound(self, phi: float) -> float | None:
+        """95% binomial confidence half-width on the sampled rank."""
+        m = self._reservoir.size
+        if m == 0:
+            return None
+        phi = min(max(phi, 0.0), 1.0)
+        return min(1.0, 1.96 * float(np.sqrt(phi * (1.0 - phi) / m)) + 1.0 / m)

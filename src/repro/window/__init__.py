@@ -1,0 +1,13 @@
+"""Sliding-window threshold queries with turnstile semantics (Section 7.2.2)."""
+
+from .sliding import (
+    Pane, TurnstileWindowProcessor, WindowAlert, WindowQueryResult,
+    build_panes, inject_spikes, remerge_windows,
+)
+from .streaming import MonitorState, StreamingWindowMonitor
+
+__all__ = [
+    "Pane", "TurnstileWindowProcessor", "WindowAlert", "WindowQueryResult",
+    "build_panes", "inject_spikes", "remerge_windows",
+    "MonitorState", "StreamingWindowMonitor",
+]

@@ -1,0 +1,87 @@
+"""Parallel merge scaling (Appendix F, Figures 24-25).
+
+Shards a pre-aggregated cell set across worker threads; each worker folds
+its shard into a partial aggregate, and partials combine with a final
+sequential merge — the map/reduce aggregation plan of Section 3.2.
+
+Python threads serialize pure-Python bytecode under the GIL, but the
+summaries here spend their merge time in numpy kernels that release it, so
+scaling is observable (and, as in the paper, tapers once per-thread work
+shrinks).  The strong/weak-scaling benchmark records the same two series
+as Figures 24 and 25.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..summaries.base import QuantileSummary
+from .cells import merge_cells
+
+
+@dataclass(frozen=True)
+class ParallelMergeResult:
+    """Throughput measurement for one thread count."""
+
+    threads: int
+    num_merges: int
+    seconds: float
+
+    @property
+    def merges_per_second(self) -> float:
+        return self.num_merges / self.seconds if self.seconds > 0 else float("inf")
+
+
+def parallel_merge(summaries: Sequence[QuantileSummary],
+                   threads: int) -> tuple[QuantileSummary, float]:
+    """Merge ``summaries`` with ``threads`` workers; returns (result, secs)."""
+    if not summaries:
+        raise ValueError("nothing to merge")
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    start = time.perf_counter()
+    if threads == 1 or len(summaries) < 2 * threads:
+        aggregate = merge_cells(summaries)
+        return aggregate, time.perf_counter() - start
+    shard_size = (len(summaries) + threads - 1) // threads
+    shards = [summaries[i:i + shard_size]
+              for i in range(0, len(summaries), shard_size)]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        partials = list(pool.map(merge_cells, shards))
+    aggregate = merge_cells(partials)
+    return aggregate, time.perf_counter() - start
+
+
+def strong_scaling(summaries: Sequence[QuantileSummary],
+                   thread_counts: Sequence[int]) -> list[ParallelMergeResult]:
+    """Fixed total work, growing thread count (Figure 24)."""
+    results = []
+    for threads in thread_counts:
+        _, seconds = parallel_merge(summaries, threads)
+        results.append(ParallelMergeResult(
+            threads=threads, num_merges=len(summaries) - 1, seconds=seconds))
+    return results
+
+
+def weak_scaling(summaries: Sequence[QuantileSummary],
+                 thread_counts: Sequence[int],
+                 merges_per_thread: int) -> list[ParallelMergeResult]:
+    """Fixed per-thread work, growing total (Figure 25).
+
+    The cell list is tiled if a thread count requires more summaries than
+    supplied.
+    """
+    results = []
+    for threads in thread_counts:
+        needed = merges_per_thread * threads
+        pool_cells = list(summaries)
+        while len(pool_cells) < needed:
+            pool_cells.extend(summaries)
+        subset = pool_cells[:needed]
+        _, seconds = parallel_merge(subset, threads)
+        results.append(ParallelMergeResult(
+            threads=threads, num_merges=needed - 1, seconds=seconds))
+    return results

@@ -1,0 +1,55 @@
+"""Shared fixtures: small deterministic datasets and pre-built sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MomentsSketch
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gaussian_data(rng) -> np.ndarray:
+    return rng.normal(0.0, 1.0, 50_000)
+
+
+@pytest.fixture(scope="session")
+def lognormal_data(rng) -> np.ndarray:
+    return rng.lognormal(1.0, 1.5, 50_000)
+
+
+@pytest.fixture(scope="session")
+def exponential_data(rng) -> np.ndarray:
+    return rng.exponential(1.0, 50_000)
+
+
+@pytest.fixture(scope="session")
+def uniform_data(rng) -> np.ndarray:
+    return rng.uniform(10.0, 20.0, 50_000)
+
+
+@pytest.fixture()
+def gaussian_sketch(gaussian_data) -> MomentsSketch:
+    return MomentsSketch.from_data(gaussian_data, k=10)
+
+
+@pytest.fixture()
+def lognormal_sketch(lognormal_data) -> MomentsSketch:
+    return MomentsSketch.from_data(lognormal_data, k=10)
+
+
+def true_quantile_error(data: np.ndarray, estimate: float, phi: float) -> float:
+    """Paper Eq. (1): normalized rank error of an estimate."""
+    data_sorted = np.sort(data)
+    rank = np.searchsorted(data_sorted, estimate, side="left")
+    return abs(rank - np.floor(phi * data.size)) / data.size
+
+
+@pytest.fixture(scope="session")
+def quantile_error():
+    return true_quantile_error

@@ -1,0 +1,158 @@
+"""Unit tests for the Chebyshev toolkit against closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.core import chebyshev as ch
+
+
+class TestCoefficientTable:
+    def test_low_orders_match_textbook(self):
+        table = ch.chebyshev_coefficient_table(4)
+        # T_0 = 1, T_1 = x, T_2 = 2x^2 - 1, T_3 = 4x^3 - 3x, T_4 = 8x^4 - 8x^2 + 1
+        assert table[0].tolist() == [1, 0, 0, 0, 0]
+        assert table[1].tolist() == [0, 1, 0, 0, 0]
+        assert table[2].tolist() == [-1, 0, 2, 0, 0]
+        assert table[3].tolist() == [0, -3, 0, 4, 0]
+        assert table[4].tolist() == [1, 0, -8, 0, 8]
+
+    def test_leading_coefficient_is_power_of_two(self):
+        table = ch.chebyshev_coefficient_table(12)
+        for i in range(1, 13):
+            assert table[i, i] == 2.0 ** (i - 1)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            ch.chebyshev_coefficient_table(-1)
+
+
+class TestEvaluation:
+    def test_matches_trigonometric_identity(self):
+        u = np.linspace(-1, 1, 101)
+        for order in (0, 1, 2, 5, 9, 16):
+            expected = np.cos(order * np.arccos(u))
+            np.testing.assert_allclose(ch.eval_chebyshev(order, u), expected,
+                                       atol=1e-12)
+
+    def test_series_evaluation_clenshaw(self):
+        coeffs = np.array([0.5, -1.0, 0.25, 2.0])
+        u = np.linspace(-1, 1, 41)
+        expected = sum(c * ch.eval_chebyshev(i, u) for i, c in enumerate(coeffs))
+        np.testing.assert_allclose(ch.eval_chebyshev_series(coeffs, u), expected,
+                                   atol=1e-13)
+
+    def test_empty_series_is_zero(self):
+        assert ch.eval_chebyshev_series(np.zeros(0), np.array([0.3])) == 0.0
+
+    def test_values_slightly_outside_support_stay_finite(self):
+        u = np.array([-1.0 - 1e-12, 1.0 + 1e-12])
+        assert np.all(np.isfinite(ch.eval_chebyshev(8, u)))
+
+
+class TestNodesAndWeights:
+    def test_nodes_are_lobatto_points(self):
+        nodes = ch.chebyshev_nodes(8)
+        np.testing.assert_allclose(nodes, np.cos(np.pi * np.arange(9) / 8))
+        assert nodes[0] == 1.0 and nodes[-1] == -1.0
+
+    def test_odd_or_nonpositive_sizes_rejected(self):
+        for bad in (0, -2, 3, 7):
+            with pytest.raises(ValueError):
+                ch.chebyshev_nodes(bad)
+            with pytest.raises(ValueError):
+                ch.clenshaw_curtis_weights(bad)
+
+    def test_weights_sum_to_interval_length(self):
+        for n in (2, 8, 64, 256):
+            assert ch.clenshaw_curtis_weights(n).sum() == pytest.approx(2.0)
+
+    def test_quadrature_exact_for_polynomials(self):
+        n = 16
+        nodes = ch.chebyshev_nodes(n)
+        weights = ch.clenshaw_curtis_weights(n)
+        for degree in range(n + 1):
+            integral = float(np.dot(weights, nodes ** degree))
+            exact = 0.0 if degree % 2 else 2.0 / (degree + 1)
+            assert integral == pytest.approx(exact, abs=1e-13)
+
+    def test_quadrature_converges_for_smooth_function(self):
+        exact = np.exp(1) - np.exp(-1)
+        for n in (8, 16, 32):
+            nodes = ch.chebyshev_nodes(n)
+            weights = ch.clenshaw_curtis_weights(n)
+            approx = float(np.dot(weights, np.exp(nodes)))
+            assert approx == pytest.approx(exact, abs=max(10.0 ** -(n / 2), 1e-14))
+
+
+class TestInterpolation:
+    def test_interpolant_hits_nodes(self):
+        n = 32
+        nodes = ch.chebyshev_nodes(n)
+        values = np.sin(3 * nodes) + nodes ** 2
+        coeffs = ch.interpolation_coefficients(values)
+        np.testing.assert_allclose(ch.eval_chebyshev_series(coeffs, nodes),
+                                   values, atol=1e-12)
+
+    def test_interpolant_accurate_between_nodes(self):
+        n = 64
+        nodes = ch.chebyshev_nodes(n)
+        coeffs = ch.interpolation_coefficients(np.exp(nodes))
+        u = np.linspace(-1, 1, 333)
+        np.testing.assert_allclose(ch.eval_chebyshev_series(coeffs, u),
+                                   np.exp(u), atol=1e-12)
+
+    def test_single_value_rejected(self):
+        with pytest.raises(ValueError):
+            ch.interpolation_coefficients(np.array([1.0]))
+
+
+class TestIntegration:
+    def test_integrate_series_closed_form(self):
+        # T_0 integrates to 2, T_2 to -2/3, odd orders to 0.
+        assert ch.integrate_series(np.array([1.0])) == pytest.approx(2.0)
+        assert ch.integrate_series(np.array([0.0, 1.0])) == pytest.approx(0.0)
+        assert ch.integrate_series(np.array([0.0, 0.0, 1.0])) == pytest.approx(-2.0 / 3.0)
+
+    def test_antiderivative_differentiates_back(self):
+        coeffs = np.array([0.2, -0.8, 0.6, 0.1, -0.3])
+        anti = ch.antiderivative_series(coeffs)
+        u = np.linspace(-0.95, 0.95, 21)
+        h = 1e-6
+        derivative = (ch.eval_chebyshev_series(anti, u + h)
+                      - ch.eval_chebyshev_series(anti, u - h)) / (2 * h)
+        np.testing.assert_allclose(derivative,
+                                   ch.eval_chebyshev_series(coeffs, u), atol=1e-7)
+
+    def test_antiderivative_consistent_with_integrate_series(self):
+        coeffs = np.array([0.4, 0.3, -0.2, 0.05])
+        anti = ch.antiderivative_series(coeffs)
+        span = (ch.eval_chebyshev_series(anti, np.asarray(1.0))
+                - ch.eval_chebyshev_series(anti, np.asarray(-1.0)))
+        assert span == pytest.approx(ch.integrate_series(coeffs))
+
+
+class TestAlgebra:
+    def test_multiply_series_matches_pointwise_product(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=5)
+        b = rng.normal(size=7)
+        product = ch.multiply_series(a, b)
+        u = np.linspace(-1, 1, 61)
+        np.testing.assert_allclose(
+            ch.eval_chebyshev_series(product, u),
+            ch.eval_chebyshev_series(a, u) * ch.eval_chebyshev_series(b, u),
+            atol=1e-12)
+
+    def test_multiply_with_empty_is_empty(self):
+        assert ch.multiply_series(np.zeros(0), np.array([1.0])).size == 0
+
+    def test_basis_conversion_roundtrip(self):
+        rng = np.random.default_rng(1)
+        mono = rng.normal(size=9)
+        back = ch.chebyshev_to_monomial(ch.monomial_to_chebyshev(mono))
+        np.testing.assert_allclose(back, mono, atol=1e-9)
+
+    def test_monomial_to_chebyshev_known_case(self):
+        # x^2 = (T_0 + T_2) / 2
+        np.testing.assert_allclose(ch.monomial_to_chebyshev(np.array([0.0, 0.0, 1.0])),
+                                   [0.5, 0.0, 0.5], atol=1e-14)

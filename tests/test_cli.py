@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, json.loads(output)
+
+
+@pytest.fixture()
+def value_file(tmp_path):
+    rng = np.random.default_rng(0)
+    path = tmp_path / "values.csv"
+    np.savetxt(path, rng.lognormal(1.0, 1.0, 5000))
+    return path
+
+
+@pytest.fixture()
+def sketch_file(tmp_path, value_file, capsys):
+    path = tmp_path / "sketch.msk"
+    code, _ = run_cli(capsys, "sketch", "build", str(value_file),
+                      "-o", str(path), "--k", "10")
+    assert code == 0
+    return path
+
+
+class TestSketchCommands:
+    def test_build_reports_metadata(self, tmp_path, value_file, capsys):
+        out = tmp_path / "s.msk"
+        code, result = run_cli(capsys, "sketch", "build", str(value_file),
+                               "-o", str(out))
+        assert code == 0
+        assert result["count"] == 5000
+        assert result["size_bytes"] < 250
+        assert out.exists()
+
+    def test_build_without_log_moments(self, tmp_path, value_file, capsys):
+        out = tmp_path / "s.msk"
+        code, result = run_cli(capsys, "sketch", "build", str(value_file),
+                               "-o", str(out), "--no-log")
+        assert code == 0
+        _, info = run_cli(capsys, "sketch", "info", str(out))
+        assert info["log_moments"] is False
+
+    def test_merge_and_query(self, tmp_path, capsys):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10, 2, 8000)
+        paths = []
+        for i, chunk in enumerate(np.split(data, 4)):
+            values = tmp_path / f"v{i}.csv"
+            np.savetxt(values, chunk)
+            sketch = tmp_path / f"s{i}.msk"
+            run_cli(capsys, "sketch", "build", str(values), "-o", str(sketch))
+            paths.append(str(sketch))
+        merged = tmp_path / "merged.msk"
+        code, result = run_cli(capsys, "sketch", "merge", *paths,
+                               "-o", str(merged))
+        assert code == 0 and result["count"] == 8000
+        code, result = run_cli(capsys, "sketch", "query", str(merged),
+                               "--phi", "0.5", "0.9")
+        assert code == 0
+        assert result["quantiles"]["0.5"] == pytest.approx(10.0, abs=0.3)
+
+    def test_threshold(self, sketch_file, capsys):
+        code, result = run_cli(capsys, "sketch", "threshold", str(sketch_file),
+                               "--t", "1e9", "--phi", "0.99")
+        assert code == 0
+        assert result["exceeds"] is False
+        assert result["decided_by"] == "simple"
+
+    def test_bounds(self, sketch_file, capsys):
+        code, result = run_cli(capsys, "sketch", "bounds", str(sketch_file),
+                               "--t", "3.0")
+        assert code == 0
+        assert 0 <= result["rtt"]["lower"] <= result["rtt"]["upper"] <= 5000
+        assert result["rtt"]["upper"] - result["rtt"]["lower"] <= \
+            result["markov"]["upper"] - result["markov"]["lower"] + 1e-6
+
+    def test_info_reports_selection(self, sketch_file, capsys):
+        code, result = run_cli(capsys, "sketch", "info", str(sketch_file))
+        assert code == 0
+        assert result["k"] == 10
+        assert "selected_k1" in result
+
+    def test_missing_file_is_structured_error(self, capsys):
+        code, result = run_cli(capsys, "sketch", "info", "/nonexistent.msk")
+        assert code == 2
+        assert "error" in result
+
+
+class TestDatasetCommands:
+    def test_list(self, capsys):
+        code, result = run_cli(capsys, "datasets", "list")
+        assert code == 0
+        assert "milan" in result["datasets"]
+
+    def test_stats(self, capsys):
+        code, result = run_cli(capsys, "datasets", "stats", "exponential",
+                               "--rows", "20000")
+        assert code == 0
+        assert result["generated"]["mean"] == pytest.approx(1.0, rel=0.1)
+        assert result["paper"]["mean"] == 1.0
+
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        code, result = run_cli(capsys, "datasets", "generate", "power",
+                               "-o", str(out), "--rows", "5000")
+        assert code == 0 and result["rows"] == 5000
+        assert np.loadtxt(out).size == 5000
+
+    def test_unknown_dataset_is_structured_error(self, capsys):
+        code, result = run_cli(capsys, "datasets", "stats", "nope")
+        assert code == 1
+        assert "DatasetError" in result["error"]

@@ -1,0 +1,119 @@
+"""Tests for the data-cube layer (ingestion, roll-up, group-by)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.datacube import CubeSchema, DataCube
+from repro.summaries import ExactSummary, MomentsSummary
+
+
+@pytest.fixture()
+def populated_cube():
+    rng = np.random.default_rng(0)
+    n = 20_000
+    country = rng.choice(["US", "CA"], n)
+    version = rng.integers(7, 9, n)
+    values = rng.lognormal(1.0, 1.0, n)
+    cube = DataCube(CubeSchema(("country", "version")),
+                    lambda: MomentsSummary(k=8))
+    cube.ingest([country, version], values)
+    return cube, country, version, values
+
+
+class TestSchema:
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(QueryError):
+            CubeSchema(("a", "a"))
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(QueryError):
+            CubeSchema(())
+
+    def test_unknown_dimension_lookup(self):
+        schema = CubeSchema(("a", "b"))
+        with pytest.raises(QueryError):
+            schema.index_of("c")
+
+
+class TestIngestion:
+    def test_one_cell_per_dimension_tuple(self, populated_cube):
+        cube, country, version, _ = populated_cube
+        expected = len({(c, v) for c, v in zip(country, version)})
+        assert cube.num_cells == expected
+
+    def test_counts_partition_the_data(self, populated_cube):
+        cube, *_, values = populated_cube
+        total = sum(cell.count for cell in cube.cells.values())
+        assert total == values.size
+
+    def test_column_length_mismatch_rejected(self):
+        cube = DataCube(CubeSchema(("d",)), ExactSummary)
+        with pytest.raises(QueryError):
+            cube.ingest([np.asarray([1, 2])], np.asarray([1.0]))
+
+    def test_wrong_column_arity_rejected(self):
+        cube = DataCube(CubeSchema(("d",)), ExactSummary)
+        with pytest.raises(QueryError):
+            cube.ingest([np.asarray([1]), np.asarray([1])], np.asarray([1.0]))
+
+    def test_insert_cell_merges_existing(self):
+        cube = DataCube(CubeSchema(("d",)), ExactSummary)
+        cube.insert_cell(("x",), ExactSummary.from_data([1.0, 2.0]))
+        cube.insert_cell(("x",), ExactSummary.from_data([3.0]))
+        assert cube.num_cells == 1
+        assert cube.cells[("x",)].count == 3
+
+
+class TestRollup:
+    def test_full_rollup_matches_exact(self):
+        rng = np.random.default_rng(1)
+        n = 5_000
+        dim = rng.integers(0, 20, n)
+        values = rng.normal(0, 1, n)
+        cube = DataCube(CubeSchema(("d",)), ExactSummary)
+        cube.ingest([dim], values)
+        rolled = cube.rollup()
+        assert rolled.quantile(0.5) == pytest.approx(np.quantile(values, 0.5), abs=1e-3)
+        assert cube.last_merge_count == cube.num_cells
+
+    def test_filtered_rollup(self, populated_cube):
+        cube, country, version, values = populated_cube
+        us = cube.rollup({"country": "US"})
+        assert us.count == int(np.sum(country == "US"))
+
+    def test_rollup_does_not_mutate_cells(self, populated_cube):
+        cube, *_ = populated_cube
+        counts_before = {k: cell.count for k, cell in cube.cells.items()}
+        cube.rollup()
+        assert {k: cell.count for k, cell in cube.cells.items()} == counts_before
+
+    def test_empty_filter_result_rejected(self, populated_cube):
+        cube, *_ = populated_cube
+        with pytest.raises(QueryError):
+            cube.rollup({"country": "ZZ"})
+
+    def test_quantile_convenience(self, populated_cube):
+        cube, country, version, values = populated_cube
+        estimate = cube.quantile(0.99, {"country": "CA"})
+        truth = np.quantile(values[country == "CA"], 0.99)
+        assert estimate == pytest.approx(truth, rel=0.15)
+
+
+class TestGroupBy:
+    def test_groups_cover_dimension_values(self, populated_cube):
+        cube, country, version, _ = populated_cube
+        groups = cube.group_by("version")
+        assert set(groups) == set(np.unique(version))
+
+    def test_group_counts_partition(self, populated_cube):
+        cube, country, version, values = populated_cube
+        groups = cube.group_by("country")
+        assert sum(g.count for g in groups.values()) == values.size
+
+    def test_group_by_with_filter(self, populated_cube):
+        cube, country, version, values = populated_cube
+        groups = cube.group_by("version", {"country": "US"})
+        mask = country == "US"
+        for v, summary in groups.items():
+            assert summary.count == int(np.sum(mask & (version == v)))

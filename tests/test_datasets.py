@@ -1,0 +1,116 @@
+"""Tests for the synthetic dataset generators (Table 1 substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets import (
+    EVALUATION_DATASETS,
+    available,
+    gamma_skew,
+    gaussian_with_outliers,
+    generate_cells,
+    load,
+    spec,
+    summary_statistics,
+    uniform_discrete,
+)
+
+
+class TestRegistry:
+    def test_all_evaluation_datasets_available(self):
+        assert set(EVALUATION_DATASETS) <= set(available())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load("definitely-not-a-dataset")
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(DatasetError):
+            load("milan", n=0)
+
+    def test_deterministic_given_seed(self):
+        a = load("hepmass", 10_000, seed=3)
+        b = load("hepmass", 10_000, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = load("hepmass", 10_000, seed=1)
+        b = load("hepmass", 10_000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_returned_arrays_read_only(self):
+        data = load("power", 5_000)
+        with pytest.raises(ValueError):
+            data[0] = 1.0
+
+
+@pytest.mark.parametrize("name", EVALUATION_DATASETS)
+class TestShapeFidelity:
+    """Generated data must land near the published Table 1 statistics."""
+
+    def test_support_within_published_bounds(self, name):
+        data = load(name, 100_000)
+        published = spec(name)
+        assert data.min() >= published.paper_min - 1e-9
+        assert data.max() <= published.paper_max + 1e-9
+
+    def test_mean_within_factor_two(self, name):
+        stats = summary_statistics(load(name, 100_000))
+        published = spec(name)
+        assert 0.5 <= stats["mean"] / published.paper_mean <= 2.0
+
+    def test_skew_sign_and_magnitude_class(self, name):
+        stats = summary_statistics(load(name, 100_000))
+        published = spec(name)
+        # Same order of magnitude of skewness (long-tailed stays long-tailed).
+        assert np.sign(stats["skew"]) == np.sign(published.paper_skew)
+        assert 0.2 <= stats["skew"] / published.paper_skew <= 5.0
+
+
+class TestSpecialGenerators:
+    def test_gamma_skew_parameter(self):
+        low = summary_statistics(gamma_skew(200_000, shape=10.0))
+        high = summary_statistics(gamma_skew(200_000, shape=0.1))
+        # skew = 2 / sqrt(ks)
+        assert low["skew"] == pytest.approx(2 / np.sqrt(10), rel=0.3)
+        assert high["skew"] > low["skew"]
+
+    def test_gamma_invalid_shape(self):
+        with pytest.raises(DatasetError):
+            gamma_skew(shape=0.0)
+
+    def test_outlier_injection_fraction(self):
+        data = gaussian_with_outliers(100_000, outlier_magnitude=50.0,
+                                      outlier_fraction=0.01)
+        assert np.mean(data > 25.0) == pytest.approx(0.01, abs=0.002)
+
+    def test_outlier_fraction_validation(self):
+        with pytest.raises(DatasetError):
+            gaussian_with_outliers(outlier_fraction=1.5)
+
+    def test_uniform_discrete_cardinality(self):
+        data = uniform_discrete(50_000, cardinality=7)
+        assert np.unique(data).size == 7
+        assert data.min() >= -1.0 and data.max() <= 1.0
+
+    def test_uniform_discrete_single_point(self):
+        assert np.all(uniform_discrete(100, cardinality=1) == 0.0)
+
+
+class TestProductionWorkload:
+    def test_variable_cell_sizes(self):
+        cells = generate_cells(num_cells=500, seed=0)
+        sizes = np.asarray([cell.values.size for cell in cells])
+        assert sizes.min() >= 5
+        assert sizes.max() / sizes.mean() > 5  # heavy-tailed sizes
+
+    def test_values_are_positive_integers(self):
+        cells = generate_cells(num_cells=50, seed=1)
+        for cell in cells[:10]:
+            assert np.all(cell.values >= 1)
+            np.testing.assert_array_equal(cell.values, np.round(cell.values))
+
+    def test_keys_have_four_dimensions(self):
+        cells = generate_cells(num_cells=10, seed=2)
+        assert all(len(cell.key) == 4 for cell in cells)

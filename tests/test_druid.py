@@ -1,0 +1,123 @@
+"""Tests for the Druid-like engine and its aggregator plug-ins."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.druid import (
+    DoubleSumAggregator,
+    DruidEngine,
+    MomentsSketchAggregator,
+    StreamingHistogramAggregator,
+    registry,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = np.random.default_rng(0)
+    n = 30_000
+    engine = DruidEngine(
+        dimensions=("grid", "country"),
+        aggregators=registry(moment_orders=(10,), histogram_bins=(100,)),
+        granularity=3600.0,
+        processing_threads=2,
+    )
+    timestamps = rng.uniform(0, 48 * 3600, n)
+    grid = rng.integers(0, 25, n)
+    country = rng.choice(["US", "CA", "MX"], n)
+    values = rng.lognormal(1.0, 1.0, n)
+    engine.ingest(timestamps, [grid, country], values)
+    engine._test_data = (timestamps, grid, country, values)  # type: ignore[attr-defined]
+    return engine
+
+
+class TestIngestion:
+    def test_rollup_by_hour_and_dimensions(self, engine):
+        timestamps, grid, country, values = engine._test_data
+        hours = np.floor(timestamps / 3600).astype(int)
+        expected = len({(h, g, c) for h, g, c in zip(hours, grid, country)})
+        assert engine.num_cells == expected
+
+    def test_segments_partition_by_chunk(self, engine):
+        assert len(engine.segments) <= 48
+        for chunk, segment in engine.segments.items():
+            assert segment.chunk == chunk
+
+
+class TestQueries:
+    def test_sum_query_exact(self, engine):
+        *_, values = engine._test_data
+        result = engine.query("sum")
+        assert result.value == pytest.approx(values.sum(), rel=1e-9)
+        assert result.cells_scanned == engine.num_cells
+
+    def test_quantile_query_accuracy(self, engine):
+        *_, values = engine._test_data
+        result = engine.query("momentsSketch@10", phi=0.99)
+        truth = np.quantile(values, 0.99)
+        assert result.value == pytest.approx(truth, rel=0.1)
+
+    def test_histogram_aggregator_answers(self, engine):
+        *_, values = engine._test_data
+        result = engine.query("S-Hist@100", phi=0.5)
+        assert result.value == pytest.approx(np.quantile(values, 0.5), rel=0.2)
+
+    def test_filtered_query(self, engine):
+        timestamps, grid, country, values = engine._test_data
+        result = engine.query("sum", filters={"country": "US"})
+        assert result.value == pytest.approx(values[country == "US"].sum(), rel=1e-9)
+
+    def test_interval_query(self, engine):
+        timestamps, grid, country, values = engine._test_data
+        result = engine.query("sum", interval=(0.0, 6 * 3600 - 1e-6))
+        mask = timestamps < 6 * 3600
+        assert result.value == pytest.approx(values[mask].sum(), rel=1e-9)
+
+    def test_unknown_aggregator_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.query("hyperloglog")
+
+    def test_unknown_dimension_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.query("sum", filters={"planet": "earth"})
+
+    def test_no_matching_cells_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.query("sum", filters={"country": "ZZ"})
+
+    def test_group_by(self, engine):
+        timestamps, grid, country, values = engine._test_data
+        groups = engine.group_by("sum", "country")
+        for name in np.unique(country):
+            assert groups[name] == pytest.approx(values[country == name].sum(),
+                                                 rel=1e-9)
+
+    def test_single_thread_matches_threaded(self, engine):
+        threaded = engine.query("momentsSketch@10", phi=0.9)
+        engine.processing_threads = 1
+        try:
+            single = engine.query("momentsSketch@10", phi=0.9)
+        finally:
+            engine.processing_threads = 2
+        assert single.value == pytest.approx(threaded.value, rel=1e-6)
+
+
+class TestAggregatorPlugins:
+    def test_registry_names(self):
+        factories = registry(moment_orders=(10,), histogram_bins=(10, 100))
+        assert set(factories) == {"sum", "momentsSketch@10", "S-Hist@10", "S-Hist@100"}
+
+    def test_sum_state_merge_type_check(self):
+        sum_state = DoubleSumAggregator().create()
+        sketch_state = MomentsSketchAggregator(k=4).create()
+        with pytest.raises(QueryError):
+            sum_state.merge(sketch_state)
+
+    def test_state_copy_isolated(self):
+        state = StreamingHistogramAggregator(max_bins=10).create()
+        state.aggregate(np.asarray([1.0, 2.0]))
+        clone = state.copy()
+        clone.aggregate(np.asarray([100.0]))
+        assert state.summary.count == 2
+        assert clone.summary.count == 3

@@ -1,0 +1,128 @@
+"""Tests for low-precision sketch storage (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MomentsSketch
+from repro.core.encoding import LowPrecisionCodec, quantize
+from repro.core.errors import EncodingError
+
+
+class TestQuantize:
+    def test_unbiased_in_expectation(self):
+        rng = np.random.default_rng(0)
+        value = np.full(20_000, np.pi)
+        quantized = quantize(value, mantissa_bits=4, rng=rng)
+        # Randomized rounding: the mean recovers the value far beyond 4-bit
+        # precision (one 4-bit ulp here is ~0.2; the tolerance is ~3 standard
+        # errors of the Bernoulli average).
+        assert float(quantized.mean()) == pytest.approx(np.pi, abs=3e-3)
+        assert np.unique(quantized).size <= 2  # rounds to two neighbours
+
+    def test_relative_error_bounded(self):
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(0, 5, 1000)
+        quantized = quantize(values, mantissa_bits=10, rng=rng)
+        # One ulp of a 10-bit significand is at most 2^-9 relative.
+        np.testing.assert_allclose(quantized, values, rtol=2.0 ** -9)
+
+    def test_zero_and_negative_preserved(self):
+        rng = np.random.default_rng(2)
+        values = np.asarray([0.0, -3.5, 2.25])
+        quantized = quantize(values, mantissa_bits=8, rng=rng)
+        assert quantized[0] == 0.0
+        assert quantized[1] < 0
+        assert quantized[2] > 0
+
+    def test_exactly_representable_values_unchanged(self):
+        rng = np.random.default_rng(3)
+        values = np.asarray([1.0, 0.5, 2.0, 1.5])
+        np.testing.assert_array_equal(quantize(values, 8, rng), values)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(EncodingError):
+            quantize(np.asarray([1.0]), mantissa_bits=0)
+
+
+class TestCodec:
+    def make_sketch(self, seed=0, k=8):
+        rng = np.random.default_rng(seed)
+        return MomentsSketch.from_data(rng.uniform(0.5, 2.0, 5_000), k=k)
+
+    def test_roundtrip_preserves_metadata(self):
+        sketch = self.make_sketch()
+        codec = LowPrecisionCodec(mantissa_bits=12, seed=0)
+        restored = codec.decode(codec.encode(sketch))
+        assert restored.k == sketch.k
+        assert restored.count == sketch.count
+        assert restored.min == sketch.min and restored.max == sketch.max
+        assert restored.log_valid == sketch.log_valid
+
+    def test_roundtrip_sums_within_quantization_error(self):
+        sketch = self.make_sketch()
+        codec = LowPrecisionCodec(mantissa_bits=16, seed=0)
+        restored = codec.decode(codec.encode(sketch))
+        np.testing.assert_allclose(restored.power_sums[1:], sketch.power_sums[1:],
+                                   rtol=2.0 ** -15)
+        np.testing.assert_allclose(restored.log_sums[1:], sketch.log_sums[1:],
+                                   rtol=2.0 ** -15)
+
+    def test_compression_ratio(self):
+        sketch = self.make_sketch(k=10)
+        codec = LowPrecisionCodec(mantissa_bits=11, exponent_bits=8)
+        # 20 bits/value vs 64: about 3x smaller, the Appendix C headline.
+        assert codec.bits_per_value == 20
+        assert codec.size_bytes(sketch) < sketch.size_bytes() / 2
+
+    def test_estimates_survive_compression(self):
+        from repro.core import estimate_quantiles
+        sketch = self.make_sketch(k=8)
+        codec = LowPrecisionCodec(mantissa_bits=16, seed=1)
+        restored = codec.decode(codec.encode(sketch))
+        original = estimate_quantiles(sketch, [0.5, 0.9])
+        compressed = estimate_quantiles(restored, [0.5, 0.9])
+        np.testing.assert_allclose(compressed, original, rtol=1e-3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(EncodingError):
+            LowPrecisionCodec(mantissa_bits=0)
+        with pytest.raises(EncodingError):
+            LowPrecisionCodec(mantissa_bits=60)
+        with pytest.raises(EncodingError):
+            LowPrecisionCodec(exponent_bits=1)
+
+    def test_corrupt_payload_rejected(self):
+        sketch = self.make_sketch()
+        codec = LowPrecisionCodec(mantissa_bits=10)
+        blob = codec.encode(sketch)
+        with pytest.raises(EncodingError):
+            codec.decode(blob[:10])
+        with pytest.raises(EncodingError):
+            codec.decode(b"ZZZZ" + blob[4:])
+
+    def test_narrow_exponent_field_overflow_detected(self):
+        rng = np.random.default_rng(4)
+        # Power sums of wide-range data span hundreds of exponents.
+        sketch = MomentsSketch.from_data(rng.lognormal(0, 4, 2_000), k=12)
+        codec = LowPrecisionCodec(mantissa_bits=10, exponent_bits=2)
+        with pytest.raises(EncodingError):
+            codec.encode(sketch)
+
+    def test_merged_compressed_sketches_stay_accurate(self):
+        """The Figure 17 property: randomized rounding keeps aggregates of
+        many compressed sketches accurate."""
+        from repro.core import merge_all, safe_estimate_quantiles
+        rng = np.random.default_rng(5)
+        # Centered data (c ~ 0): quantization noise is not amplified by the
+        # Appendix-B binomial shift, the regime Appendix C targets ("the
+        # data is well-centered").
+        data = rng.uniform(-1.5, 1.5, 40_000)
+        codec = LowPrecisionCodec(mantissa_bits=11, seed=2)
+        compressed = []
+        for chunk in np.split(data, 200):
+            sketch = MomentsSketch.from_data(chunk, k=8, track_log=False)
+            compressed.append(codec.decode(codec.encode(sketch)))
+        merged = merge_all(compressed)
+        estimates = safe_estimate_quantiles(merged, [0.1, 0.5, 0.9])
+        truth = np.quantile(data, [0.1, 0.5, 0.9])
+        np.testing.assert_allclose(estimates, truth, atol=0.05)

@@ -1,0 +1,146 @@
+"""Tests for the lesion-study estimators (Figure 10's comparison set)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MomentsSketch
+from repro.core.errors import EstimationError
+from repro.estimators import (
+    LESION_ESTIMATORS,
+    build_problem,
+    make_estimator,
+)
+from repro.workload.cells import quantile_errors
+
+PHIS = np.linspace(0.05, 0.95, 10)
+
+
+@pytest.fixture(scope="module")
+def gaussian_case():
+    rng = np.random.default_rng(0)
+    data = rng.normal(0, 1, 40_000)
+    sketch = MomentsSketch.from_data(data, k=8)
+    return data, sketch, build_problem(sketch, k=8, use_log=False)
+
+
+@pytest.fixture(scope="module")
+def lognormal_case():
+    rng = np.random.default_rng(1)
+    data = rng.lognormal(1.0, 1.2, 40_000)
+    sketch = MomentsSketch.from_data(data, k=8)
+    return data, sketch, build_problem(sketch, k=8, use_log=True)
+
+
+def errors_for(name, data, sketch, problem):
+    estimator = make_estimator(name)
+    if hasattr(estimator, "bind"):
+        estimator.bind(sketch)
+    estimates = estimator.quantiles(problem, PHIS)
+    return float(np.mean(quantile_errors(np.sort(data), estimates, PHIS)))
+
+
+class TestProblemConstruction:
+    def test_moments_scaled_to_unit_support(self, gaussian_case):
+        _, _, problem = gaussian_case
+        assert problem.moments[0] == 1.0
+        assert np.all(np.abs(problem.moments) <= 1.0 + 1e-9)
+
+    def test_log_problem_requires_positive_data(self):
+        sketch = MomentsSketch.from_data([-1.0, 1.0], k=4)
+        with pytest.raises(EstimationError):
+            build_problem(sketch, use_log=True)
+
+    def test_too_many_moments_rejected(self, gaussian_case):
+        _, sketch, _ = gaussian_case
+        with pytest.raises(EstimationError):
+            build_problem(sketch, k=99)
+
+    def test_to_data_units_roundtrip(self, lognormal_case):
+        data, _, problem = lognormal_case
+        x = problem.to_data_units(np.asarray([-1.0, 1.0]))
+        assert x[0] == pytest.approx(data.min(), rel=1e-9)
+        assert x[1] == pytest.approx(data.max(), rel=1e-9)
+
+
+class TestEstimatorRegistry:
+    def test_all_names_constructible(self):
+        for name in LESION_ESTIMATORS:
+            assert make_estimator(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_estimator("oracle")
+
+
+@pytest.mark.parametrize("name", LESION_ESTIMATORS)
+class TestAllEstimatorsRun:
+    def test_produces_monotone_in_range_estimates(self, name, gaussian_case):
+        data, sketch, problem = gaussian_case
+        estimator = make_estimator(name)
+        if hasattr(estimator, "bind"):
+            estimator.bind(sketch)
+        estimates = estimator.quantiles(problem, PHIS)
+        assert np.all(np.diff(estimates) >= -1e-6)
+        assert estimates.min() >= data.min() - 1e-6
+        assert estimates.max() <= data.max() + 1e-6
+
+
+class TestLesionShape:
+    """The Figure 10 orderings this reproduction must preserve."""
+
+    def test_maxent_family_beats_closed_forms(self, gaussian_case):
+        data, sketch, problem = gaussian_case
+        opt = errors_for("opt", data, sketch, problem)
+        mnat = errors_for("mnat", data, sketch, problem)
+        assert opt * 5 < mnat
+
+    def test_maxent_variants_agree(self, gaussian_case):
+        data, sketch, problem = gaussian_case
+        opt = errors_for("opt", data, sketch, problem)
+        bfgs = errors_for("bfgs", data, sketch, problem)
+        assert abs(opt - bfgs) < 5e-3
+
+    def test_gaussian_estimator_wins_on_gaussian_only(self, gaussian_case,
+                                                      lognormal_case):
+        g_data, g_sketch, g_problem = gaussian_case
+        gaussian_on_gaussian = errors_for("gaussian", g_data, g_sketch, g_problem)
+        assert gaussian_on_gaussian < 0.02
+        # On a skewed dataset in linear space it falls apart.
+        rng = np.random.default_rng(2)
+        data = rng.gamma(0.7, 2.0, 40_000)
+        sketch = MomentsSketch.from_data(data, k=8)
+        problem = build_problem(sketch, k=8, use_log=False)
+        assert errors_for("gaussian", data, sketch, problem) > 0.03
+
+    def test_opt_faster_than_generic_convex(self, lognormal_case):
+        import time
+        data, sketch, problem = lognormal_case
+        opt = make_estimator("opt").bind(sketch)
+        generic = make_estimator("cvx-maxent")
+        start = time.perf_counter()
+        opt.quantiles(problem, PHIS)
+        opt_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        generic.quantiles(problem, PHIS)
+        generic_seconds = time.perf_counter() - start
+        assert opt_seconds < generic_seconds
+
+    def test_unbound_solver_estimators_raise(self, gaussian_case):
+        _, _, problem = gaussian_case
+        with pytest.raises(EstimationError):
+            make_estimator("opt").quantiles(problem, PHIS)
+        with pytest.raises(EstimationError):
+            make_estimator("bfgs").quantiles(problem, PHIS)
+
+
+class TestDiscretizedEstimators:
+    def test_svd_matches_moments_weakly(self, gaussian_case):
+        data, sketch, problem = gaussian_case
+        assert errors_for("svd", data, sketch, problem) < 0.05
+
+    def test_cvx_min_flat_density_on_uniform(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 1, 40_000)
+        sketch = MomentsSketch.from_data(data, k=6)
+        problem = build_problem(sketch, k=6)
+        assert errors_for("cvx-min", data, sketch, problem) < 0.03

@@ -1,0 +1,72 @@
+"""Tests for the k1/k2 moment-selection heuristic (Section 4.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MomentsSketch, SolverConfig
+from repro.core.selector import select_moments, stable_moment_counts
+
+
+class TestStableCounts:
+    def test_centered_data_gets_full_order(self):
+        rng = np.random.default_rng(0)
+        sketch = MomentsSketch.from_data(rng.uniform(-1, 1, 20_000), k=12)
+        k1, k2 = stable_moment_counts(sketch)
+        assert k1 == 12
+        assert k2 == 0  # negative values: no log moments
+
+    def test_offset_data_loses_moments(self):
+        # Data on [20, 100]: c = 1.5, Appendix B predicts ~11-12 usable.
+        rng = np.random.default_rng(1)
+        sketch = MomentsSketch.from_data(rng.uniform(20, 100, 20_000), k=16)
+        k1, _ = stable_moment_counts(sketch)
+        assert k1 < 16
+
+    def test_degenerate_support(self):
+        sketch = MomentsSketch.from_data(np.full(10, 3.0), k=8)
+        assert stable_moment_counts(sketch) == (1, 0)
+
+    def test_log_counts_for_positive_data(self):
+        rng = np.random.default_rng(2)
+        sketch = MomentsSketch.from_data(rng.lognormal(0, 1, 20_000), k=10)
+        _, k2 = stable_moment_counts(sketch)
+        assert k2 > 0
+
+
+class TestGreedySelection:
+    def test_uses_many_moments_when_well_conditioned(self):
+        rng = np.random.default_rng(3)
+        sketch = MomentsSketch.from_data(rng.normal(0, 1, 30_000), k=10)
+        selection = select_moments(sketch)
+        assert selection.k1 + selection.k2 >= 8
+
+    def test_condition_budget_respected(self):
+        rng = np.random.default_rng(4)
+        sketch = MomentsSketch.from_data(rng.lognormal(1, 1.5, 30_000), k=10)
+        for budget in (50.0, 1e4):
+            config = SolverConfig(max_condition_number=budget)
+            selection = select_moments(sketch, config)
+            assert selection.condition < budget
+
+    def test_budgets_reported_condition_is_attained(self):
+        # Greedy paths differ between budgets, so selected counts are not
+        # strictly monotone; what must hold is that each selection's
+        # reported condition number respects its own budget.
+        rng = np.random.default_rng(5)
+        sketch = MomentsSketch.from_data(rng.gamma(2, 1, 30_000), k=10)
+        loose = select_moments(sketch, SolverConfig(max_condition_number=1e4))
+        tight = select_moments(sketch, SolverConfig(max_condition_number=30.0))
+        assert tight.condition < 30.0
+        assert loose.condition < 1e4
+        assert loose.k1 + loose.k2 >= 1 and tight.k1 + tight.k2 >= 1
+
+    def test_use_log_false_excludes_log_moments(self):
+        rng = np.random.default_rng(6)
+        sketch = MomentsSketch.from_data(rng.lognormal(0, 1, 20_000), k=10)
+        selection = select_moments(sketch, use_log=False)
+        assert selection.k2 == 0
+
+    def test_minimum_selection_is_one_standard_moment(self):
+        sketch = MomentsSketch.from_data([1.0, 2.0, 3.0], k=4)
+        selection = select_moments(sketch)
+        assert selection.k1 >= 1

@@ -1,0 +1,146 @@
+"""Contract tests every mergeable summary must satisfy (Section 3.2).
+
+Parametrized over the full registry so a new summary automatically
+inherits the mergeability/accuracy contract checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.summaries import SUMMARY_REGISTRY
+from repro.workload.cells import PHI_GRID, quantile_errors
+
+PARAMS = {
+    "M-Sketch": dict(k=10),
+    "Merge12": dict(k=32, seed=0),
+    "RandomW": dict(buffer_size=256, seed=0),
+    "GK": dict(epsilon=1.0 / 50),
+    "T-Digest": dict(delta=100.0),
+    "Sampling": dict(capacity=2000, seed=0),
+    "S-Hist": dict(max_bins=100),
+    "EW-Hist": dict(max_bins=100),
+    "Exact": dict(),
+}
+
+#: Summaries whose estimates are coarse on long-tailed data get a looser
+#: accuracy budget in the contract checks (their Figure 7 behaviour).
+ACCURACY_BUDGET = {
+    "M-Sketch": 0.01, "Merge12": 0.02, "RandomW": 0.03, "GK": 0.05,
+    "T-Digest": 0.01, "Sampling": 0.06, "S-Hist": 0.10, "EW-Hist": 0.35,
+    "Exact": 1e-4,
+}
+
+
+def make(name):
+    return SUMMARY_REGISTRY[name](**PARAMS[name])
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    return rng.lognormal(0.5, 1.0, 20_000)
+
+
+@pytest.fixture(scope="module")
+def sorted_data(data):
+    return np.sort(data)
+
+
+@pytest.mark.parametrize("name", list(SUMMARY_REGISTRY))
+class TestSummaryContract:
+    def test_count_tracks_inserts(self, name):
+        summary = make(name)
+        summary.accumulate(np.arange(1.0, 501.0))
+        assert summary.count == 500
+        summary.accumulate(7.5)
+        assert summary.count == 501
+
+    def test_quantile_bounded_by_observed_range(self, name, data):
+        summary = make(name)
+        summary.accumulate(data)
+        for phi in (0.0, 0.01, 0.5, 0.99, 1.0):
+            q = summary.quantile(phi)
+            assert data.min() - 1e-9 <= q <= data.max() + 1e-9
+
+    def test_quantiles_monotone(self, name, data):
+        summary = make(name)
+        summary.accumulate(data)
+        qs = summary.quantiles(np.linspace(0.05, 0.95, 10))
+        assert np.all(np.diff(qs) >= -1e-9 * max(1.0, abs(qs[-1])))
+
+    def test_pointwise_accuracy(self, name, data, sorted_data):
+        summary = make(name)
+        summary.accumulate(data)
+        errors = quantile_errors(sorted_data, summary.quantiles(PHI_GRID), PHI_GRID)
+        assert float(np.mean(errors)) <= ACCURACY_BUDGET[name]
+
+    def test_merged_accuracy(self, name, data, sorted_data):
+        """Merging pre-aggregated chunks must stay within 3x the budget —
+        the mergeability property (no catastrophic loss vs pointwise)."""
+        chunks = np.split(data, 50)
+        summaries = [make(name) for _ in chunks]
+        for summary, chunk in zip(summaries, chunks):
+            summary.accumulate(chunk)
+        aggregate = summaries[0]
+        for other in summaries[1:]:
+            aggregate = aggregate.merge(other)
+        assert aggregate.count == data.size
+        errors = quantile_errors(sorted_data, aggregate.quantiles(PHI_GRID), PHI_GRID)
+        assert float(np.mean(errors)) <= 3.0 * ACCURACY_BUDGET[name]
+
+    def test_merge_returns_self(self, name):
+        a, b = make(name), make(name)
+        a.accumulate([1.0, 2.0])
+        b.accumulate([3.0])
+        assert a.merge(b) is a
+        assert a.count == 3
+
+    def test_merge_rejects_other_types(self, name):
+        other_name = "GK" if name != "GK" else "Sampling"
+        with pytest.raises(TypeError):
+            make(name).merge(make(other_name))
+
+    def test_copy_isolated_from_original(self, name):
+        original = make(name)
+        original.accumulate(np.linspace(1, 10, 100))
+        clone = original.copy()
+        clone.accumulate(np.full(100, 1e6))
+        assert original.count == 100
+        assert original.quantile(0.999) <= 10.0 + 1e-9
+
+    def test_size_bytes_positive_and_sublinear(self, name, data):
+        summary = make(name)
+        summary.accumulate(data)
+        size = summary.size_bytes()
+        assert size > 0
+        if name != "Exact":
+            assert size < 8 * data.size / 4, "summary should compress"
+
+    def test_empty_summary_raises_on_quantile(self, name):
+        summary = make(name)
+        with pytest.raises(Exception):
+            summary.quantile(0.5)
+
+    def test_error_upper_bound_dominates_truth(self, name, data, sorted_data):
+        summary = make(name)
+        summary.accumulate(data)
+        for phi in (0.1, 0.5, 0.9):
+            bound = summary.error_upper_bound(phi)
+            if bound is None:
+                continue
+            estimate = summary.quantile(phi)
+            actual = quantile_errors(sorted_data, np.asarray([estimate]),
+                                     np.asarray([phi]))[0]
+            slack = 0.05 if name in ("RandomW", "Sampling") else 1e-6
+            assert actual <= bound + slack
+
+
+class TestRegistry:
+    def test_registry_names_match_paper(self):
+        expected = {"M-Sketch", "Merge12", "RandomW", "GK", "T-Digest",
+                    "Sampling", "S-Hist", "EW-Hist", "Exact"}
+        assert set(SUMMARY_REGISTRY) == expected
+
+    def test_display_names_consistent(self):
+        for name, cls in SUMMARY_REGISTRY.items():
+            assert cls.name == name

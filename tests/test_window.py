@@ -1,0 +1,136 @@
+"""Tests for sliding-window threshold queries (turnstile semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MomentsSketch
+from repro.summaries import Merge12Summary
+from repro.window import (
+    TurnstileWindowProcessor,
+    build_panes,
+    inject_spikes,
+    remerge_windows,
+)
+
+
+@pytest.fixture(scope="module")
+def spiked_stream():
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(1.0, 1.0, 60_000)  # q99 around 60
+    pane_size = 500
+    spike_panes = list(range(40, 52)) + list(range(80, 92))
+    values = inject_spikes(values, pane_size, spike_panes,
+                           spike_value=5000.0, spike_fraction=0.1)
+    return values, pane_size, spike_panes
+
+
+class TestPanes:
+    def test_pane_partition(self, spiked_stream):
+        values, pane_size, _ = spiked_stream
+        panes = build_panes(values, pane_size)
+        assert len(panes) == values.size // pane_size
+        assert sum(p.count for p in panes) == values.size
+
+    def test_pane_extrema_exact(self, spiked_stream):
+        values, pane_size, _ = spiked_stream
+        panes = build_panes(values, pane_size)
+        chunk = values[:pane_size]
+        assert panes[0].min == chunk.min() and panes[0].max == chunk.max()
+
+
+class TestTurnstile:
+    def test_window_state_matches_fresh_merge(self, spiked_stream):
+        """After many slides, the turnstile window must equal a from-scratch
+        merge of the panes it covers (the subtract correctness property)."""
+        values, pane_size, _ = spiked_stream
+        panes = build_panes(values, pane_size)[:40]
+        w = 24
+        window = panes[0].sketch.copy()
+        for pane in panes[1:w]:
+            window.merge(pane.sketch)
+        for position in range(len(panes) - w):
+            window.merge(panes[position + w].sketch)
+            surviving = panes[position + 1:position + w + 1]
+            window.subtract(panes[position].sketch,
+                            new_min=min(p.min for p in surviving),
+                            new_max=max(p.max for p in surviving))
+        reference = panes[len(panes) - w].sketch.copy()
+        for pane in panes[len(panes) - w + 1:]:
+            reference.merge(pane.sketch)
+        assert window.count == reference.count
+        np.testing.assert_allclose(window.power_sums, reference.power_sums,
+                                   rtol=1e-6)
+        assert window.min == reference.min and window.max == reference.max
+
+    def test_detects_spike_windows(self, spiked_stream):
+        values, pane_size, spike_panes = spiked_stream
+        panes = build_panes(values, pane_size)
+        processor = TurnstileWindowProcessor(panes, window_panes=24)
+        result = processor.query(threshold=1500.0, phi=0.99)
+        assert result.alerts, "spikes must be detected"
+        spike_set = set(spike_panes)
+        for alert in result.alerts:
+            covered = set(range(alert.start_pane, alert.end_pane + 1))
+            assert covered & spike_set, f"false alarm at {alert}"
+
+    def test_no_alerts_without_spikes(self):
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(1.0, 1.0, 30_000)
+        panes = build_panes(values, 500)
+        processor = TurnstileWindowProcessor(panes, window_panes=24)
+        result = processor.query(threshold=float(values.max()) * 2, phi=0.99)
+        assert not result.alerts
+
+    def test_window_parameter_validation(self, spiked_stream):
+        values, pane_size, _ = spiked_stream
+        panes = build_panes(values, pane_size)
+        with pytest.raises(ValueError):
+            TurnstileWindowProcessor(panes, window_panes=0)
+        with pytest.raises(ValueError):
+            TurnstileWindowProcessor(panes[:3], window_panes=10)
+
+
+class TestRemergeBaseline:
+    def test_same_alerts_as_turnstile(self, spiked_stream):
+        """Both strategies see the same data; alert sets should agree on
+        clear spikes (estimators differ slightly on borderline windows)."""
+        values, pane_size, spike_panes = spiked_stream
+        panes = build_panes(values, pane_size)
+        turnstile = TurnstileWindowProcessor(
+            panes, window_panes=24).query(1500.0, 0.99)
+        pane_summaries = [
+            Merge12Summary.from_data(values[i * pane_size:(i + 1) * pane_size],
+                                     k=32, seed=0)
+            for i in range(len(panes))]
+        remerge = remerge_windows(pane_summaries, 24, 1500.0, 0.99)
+        set_a = {a.start_pane for a in turnstile.alerts}
+        set_b = {a.start_pane for a in remerge.alerts}
+        union = set_a | set_b
+        assert union, "both must alert"
+        overlap = len(set_a & set_b) / len(union)
+        assert overlap > 0.5
+
+    def test_windows_checked_count(self, spiked_stream):
+        values, pane_size, _ = spiked_stream
+        panes = build_panes(values, pane_size)
+        processor = TurnstileWindowProcessor(panes, window_panes=24)
+        result = processor.query(threshold=1e12, phi=0.99)
+        assert result.windows_checked == len(panes) - 24 + 1
+
+
+class TestSpikeInjection:
+    def test_spike_changes_only_selected_panes(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 1, 10_000)
+        spiked = inject_spikes(values, 1000, [3], spike_value=99.0)
+        for pane in range(10):
+            chunk = spiked[pane * 1000:(pane + 1) * 1000]
+            if pane == 3:
+                assert np.any(chunk == 99.0)
+            else:
+                assert not np.any(chunk == 99.0)
+
+    def test_out_of_range_pane_ignored(self):
+        values = np.zeros(100)
+        spiked = inject_spikes(values, 50, [10], spike_value=1.0)
+        np.testing.assert_array_equal(spiked, values)

@@ -1,0 +1,140 @@
+"""Tests for the workload harness: cells, runner, calibration, parallel."""
+
+import numpy as np
+import pytest
+
+from repro.summaries import Merge12Summary, MomentsSummary
+from repro.workload import (
+    PHI_GRID,
+    build_cells,
+    calibrate,
+    mean_error,
+    merge_cells,
+    parallel_merge,
+    parameter_ladders,
+    quantile_errors,
+    run_query,
+    strong_scaling,
+    time_estimation,
+    time_merges,
+    weak_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(0)
+    return rng.lognormal(0.5, 1.0, 20_000)
+
+
+@pytest.fixture(scope="module")
+def moment_cells(dataset):
+    return build_cells(dataset, lambda: MomentsSummary(k=8), cell_size=200)
+
+
+class TestCells:
+    def test_cell_partition(self, dataset, moment_cells):
+        assert moment_cells.num_cells == dataset.size // 200
+        assert sum(s.count for s in moment_cells.summaries) == dataset.size
+
+    def test_uneven_tail_cell(self):
+        cells = build_cells(np.arange(450.0), lambda: MomentsSummary(k=4),
+                            cell_size=200)
+        assert cells.num_cells == 3
+        assert cells.summaries[-1].count == 50
+
+    def test_invalid_cell_size(self, dataset):
+        with pytest.raises(ValueError):
+            build_cells(dataset, lambda: MomentsSummary(k=4), cell_size=0)
+
+    def test_merge_cells_matches_whole(self, dataset, moment_cells):
+        merged = merge_cells(moment_cells.summaries)
+        whole = MomentsSummary.from_data(dataset, k=8)
+        np.testing.assert_allclose(merged.sketch.power_sums,
+                                   whole.sketch.power_sums, rtol=1e-9)
+
+    def test_quantile_errors_definition(self):
+        data_sorted = np.arange(1000.0)
+        # Estimate 504 for the median of 0..999: rank 504, target 500.
+        errors = quantile_errors(data_sorted, np.asarray([504.0]),
+                                 np.asarray([0.5]))
+        assert errors[0] == pytest.approx(0.004)
+
+    def test_mean_error_small_for_exact_summary(self, dataset):
+        from repro.summaries import ExactSummary
+        assert mean_error(dataset, ExactSummary.from_data(dataset)) < 1e-3
+
+
+class TestRunner:
+    def test_query_timing_decomposition(self, moment_cells):
+        timing = run_query(moment_cells)
+        assert timing.num_merges == moment_cells.num_cells - 1
+        assert timing.merge_seconds > 0
+        assert timing.estimate_seconds > 0
+        assert timing.total_seconds == pytest.approx(
+            timing.merge_seconds + timing.estimate_seconds)
+        assert timing.mean_error < 0.02
+
+    def test_query_with_cell_limit(self, moment_cells):
+        timing = run_query(moment_cells, num_cells=10)
+        assert timing.num_merges == 9
+
+    def test_time_merges_positive(self, moment_cells):
+        assert time_merges(moment_cells) > 0
+
+    def test_time_estimation_uses_fresh_copies(self, dataset):
+        summary = MomentsSummary.from_data(dataset, k=8)
+        first = time_estimation(summary, repeats=2)
+        # A cached estimator would make subsequent calls ~free; fresh copies
+        # keep the measurement honest (solver runs every repeat).
+        assert first > 1e-5
+
+
+class TestCalibration:
+    def test_finds_smallest_qualifying_parameter(self, dataset):
+        ladder = parameter_ladders(seed=0)["M-Sketch"]
+        result = calibrate(dataset, ladder, "M-Sketch", target=0.01)
+        assert result.achieved_target
+        assert result.mean_error <= 0.01
+        assert result.size_bytes < 300
+
+    def test_unreachable_target_returns_largest(self, dataset):
+        ladder = parameter_ladders(seed=0)["EW-Hist"][:2]
+        result = calibrate(dataset, ladder, "EW-Hist", target=1e-6)
+        assert not result.achieved_target
+        assert result.parameter_label == ladder[-1].label
+
+    def test_ladders_cover_all_summaries(self):
+        ladders = parameter_ladders()
+        assert set(ladders) == {"M-Sketch", "Merge12", "RandomW", "GK",
+                                "T-Digest", "Sampling", "S-Hist", "EW-Hist"}
+
+
+class TestParallel:
+    @pytest.fixture(scope="class")
+    def summaries(self, dataset):
+        return build_cells(dataset, lambda: Merge12Summary(k=16, seed=0),
+                           cell_size=200).summaries
+
+    def test_parallel_matches_sequential(self, summaries):
+        sequential, _ = parallel_merge(summaries, threads=1)
+        threaded, _ = parallel_merge(summaries, threads=4)
+        assert threaded.count == sequential.count
+        assert threaded.quantile(0.5) == pytest.approx(
+            sequential.quantile(0.5), rel=0.25)
+
+    def test_thread_validation(self, summaries):
+        with pytest.raises(ValueError):
+            parallel_merge(summaries, threads=0)
+        with pytest.raises(ValueError):
+            parallel_merge([], threads=1)
+
+    def test_strong_scaling_shape(self, summaries):
+        results = strong_scaling(summaries, [1, 2])
+        assert [r.threads for r in results] == [1, 2]
+        assert all(r.merges_per_second > 0 for r in results)
+
+    def test_weak_scaling_work_grows(self, summaries):
+        results = weak_scaling(summaries, [1, 2], merges_per_thread=50)
+        assert results[0].num_merges == 49
+        assert results[1].num_merges == 99
