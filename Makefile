@@ -1,0 +1,18 @@
+# Test and benchmark entry points.  `make test` is the CI gate: tier-1
+# tests plus a smoke run of the packed-merge benchmark, which fails on
+# any packed-vs-loop divergence.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-merge bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) benchmarks/bench_batch_merge.py --quick
+
+bench-merge:
+	$(PYTHON) benchmarks/bench_batch_merge.py --require-speedup 10
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

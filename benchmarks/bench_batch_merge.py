@@ -1,0 +1,129 @@
+"""Packed columnar batch merge vs the sequential merge loop (Fig. 4 companion).
+
+The paper's Figure 4 measures per-merge time for each summary; Eq. 2 then
+prices a query at ``t_merge * n_merge + t_est``.  This benchmark measures
+how much of our reproduction's ``t_merge`` is interpreter overhead rather
+than float adds: it merges ``n_merge`` pre-aggregated moments-sketch cells
+once with the sequential Python loop (``merge_all``) and once with
+``PackedSketchStore.batch_merge`` (a single vectorized reduction), for
+``n_merge`` in 10^2 .. 10^6, and reports the speedup.  Both paths produce
+bit-for-bit identical sketches, which the script asserts on every run.
+
+Usage::
+
+    python benchmarks/bench_batch_merge.py           # full sweep to 1e6
+    python benchmarks/bench_batch_merge.py --quick   # CI smoke, up to 1e4
+
+Exits non-zero if the packed and loop merges disagree, so the CI smoke
+run doubles as a merge-path regression check.  ``--require-speedup X``
+additionally fails the run if the measured speedup at ``n_merge = 10^5``
+(the acceptance point; the largest measured size in ``--quick`` mode)
+falls below X.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from any working directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.sketch import MomentsSketch, merge_all  # noqa: E402
+from repro.store import PackedSketchStore  # noqa: E402
+from repro.workload import build_packed_cells  # noqa: E402
+
+#: Distinct cells are built once up to this many rows; larger n_merge
+#: cycles over them (identical arithmetic, bounded memory).
+MAX_DISTINCT = 100_000
+
+FULL_SIZES = (100, 1_000, 10_000, 100_000, 1_000_000)
+QUICK_SIZES = (100, 1_000, 10_000)
+
+
+def build_store(num_cells: int, cell_size: int, k: int,
+                seed: int = 0) -> PackedSketchStore:
+    data = np.random.default_rng(seed).lognormal(1.0, 1.0,
+                                                 num_cells * cell_size)
+    return build_packed_cells(data, cell_size=cell_size, k=k).store
+
+
+def time_loop(sketches: list[MomentsSketch], indices: np.ndarray) -> tuple[float, MomentsSketch]:
+    start = time.perf_counter()
+    merged = merge_all(sketches[i] for i in indices)
+    return time.perf_counter() - start, merged
+
+
+def time_packed(store: PackedSketchStore, indices: np.ndarray,
+                repeats: int = 3) -> tuple[float, MomentsSketch]:
+    best = np.inf
+    merged = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        merged = store.batch_merge(indices)
+        best = min(best, time.perf_counter() - start)
+    return best, merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: n_merge up to 1e4")
+    parser.add_argument("--k", type=int, default=10,
+                        help="moment order (paper default 10)")
+    parser.add_argument("--cell-size", type=int, default=20,
+                        help="values pre-aggregated per cell")
+    parser.add_argument("--require-speedup", type=float, default=0.0,
+                        help="fail if speedup at n_merge=1e5 (or the largest "
+                             "measured size) is below this")
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    distinct = min(max(sizes), MAX_DISTINCT)
+    print(f"building {distinct} distinct cells "
+          f"(k={args.k}, {args.cell_size} values/cell) ...", flush=True)
+    store = build_store(distinct, args.cell_size, args.k)
+    sketches = store.sketches(copy=True)
+
+    header = (f"{'n_merge':>9}  {'loop (s)':>10}  {'packed (s)':>10}  "
+              f"{'speedup':>8}  {'loop ns/merge':>13}  {'packed ns/merge':>15}")
+    print(f"\n=== packed batch_merge vs sequential loop ===\n{header}\n"
+          + "-" * len(header))
+    speedups: dict[int, float] = {}
+    for n in sizes:
+        # Cycle over the distinct cells beyond MAX_DISTINCT; both paths see
+        # the same index sequence, so results stay bit-for-bit comparable.
+        indices = np.resize(np.arange(distinct, dtype=np.intp), n)
+        loop_seconds, loop_merged = time_loop(sketches, indices)
+        packed_seconds, packed_merged = time_packed(store, indices)
+        if not (np.array_equal(loop_merged.power_sums, packed_merged.power_sums)
+                and loop_merged.count == packed_merged.count
+                and loop_merged.min == packed_merged.min
+                and loop_merged.max == packed_merged.max
+                and loop_merged.log_valid == packed_merged.log_valid
+                and (not loop_merged.log_valid
+                     or np.array_equal(loop_merged.log_sums,
+                                       packed_merged.log_sums))):
+            print(f"FAIL: packed merge diverges from loop at n_merge={n}")
+            return 1
+        speedups[n] = loop_seconds / packed_seconds
+        print(f"{n:>9}  {loop_seconds:>10.5f}  {packed_seconds:>10.5f}  "
+              f"{speedups[n]:>7.1f}x  {loop_seconds / n * 1e9:>13.0f}  "
+              f"{packed_seconds / n * 1e9:>15.1f}")
+
+    print("\nequivalence: packed == loop bit-for-bit at every size")
+    if args.require_speedup:
+        gate = 100_000 if 100_000 in speedups else max(speedups)
+        if speedups[gate] < args.require_speedup:
+            print(f"FAIL: speedup {speedups[gate]:.1f}x at n_merge={gate} "
+                  f"below required {args.require_speedup:.1f}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

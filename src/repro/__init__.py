@@ -5,11 +5,12 @@ from .core import (
     estimate_quantile, estimate_quantiles, safe_estimate_quantiles,
     SolverConfig, ReproError,
 )
+from .store import PackedSketchStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MomentsSketch", "merge_all", "QuantileEstimator",
     "estimate_quantile", "estimate_quantiles", "safe_estimate_quantiles",
-    "SolverConfig", "ReproError", "__version__",
+    "SolverConfig", "ReproError", "PackedSketchStore", "__version__",
 ]

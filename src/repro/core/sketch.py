@@ -198,18 +198,28 @@ class MomentsSketch:
         return self.track_log and self.log_valid and self.min > 0
 
     def standard_moments(self) -> np.ndarray:
-        """Sample moments ``mu_i = (1/n) sum x**i``, index 0 is 1."""
+        """Sample moments ``mu_i = (1/n) sum x**i``, index 0 is 1.
+
+        Always a freshly owned buffer: callers (the solver, the packed
+        store) scale the returned vector in place, so it must never alias
+        ``power_sums`` even if the internal representation changes.
+        """
         self.require_nonempty()
-        mu = self.power_sums / self.count
+        mu = np.empty_like(self.power_sums)
+        np.divide(self.power_sums, self.count, out=mu)
         mu[0] = 1.0
         return mu
 
     def log_moments(self) -> np.ndarray:
-        """Sample log moments ``nu_i = (1/n) sum log(x)**i``, index 0 is 1."""
+        """Sample log moments ``nu_i = (1/n) sum log(x)**i``, index 0 is 1.
+
+        Freshly owned, like :meth:`standard_moments`.
+        """
         self.require_nonempty()
         if not self.has_log_moments:
             raise SketchError("log moments unavailable (non-positive data or disabled)")
-        nu = self.log_sums / self.count
+        nu = np.empty_like(self.log_sums)
+        np.divide(self.log_sums, self.count, out=nu)
         nu[0] = 1.0
         return nu
 
@@ -251,10 +261,11 @@ class MomentsSketch:
         sketch = cls(k=k, track_log=track_log)
         families = 2 if track_log else 1
         expected = 3 + families * k
-        values = np.frombuffer(blob, dtype="<f8", offset=_HEADER.size)
-        if values.size != expected:
+        payload = len(blob) - _HEADER.size
+        if payload != 8 * expected:
             raise SketchError(
-                f"payload holds {values.size} floats, expected {expected}")
+                f"payload holds {payload} bytes, expected {8 * expected}")
+        values = np.frombuffer(blob, dtype="<f8", offset=_HEADER.size)
         sketch.min = float(values[0])
         sketch.max = float(values[1])
         sketch.count = float(values[2])

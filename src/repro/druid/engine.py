@@ -15,6 +15,20 @@ benchmark exercises:
 The moments sketch and S-Hist enter through the aggregator plug-in API in
 :mod:`.aggregators`, so the comparison of Figure 11 runs the same plan for
 every aggregator and differs only in merge/finalize cost.
+
+Moments-sketch aggregators are *packed* by default
+(``packed_moments=True``): each segment stores their per-cell states as
+rows of one :class:`~repro.store.PackedSketchStore` instead of individual
+state objects, and the broker merges a segment's matching rows with a
+single vectorized reduction (then folds the per-segment partials).  This
+is the columnar layout a real Druid historical keeps per segment, and it
+removes the per-merge interpreter overhead from the Eq. 2 merge term.
+Each segment's reduction is bit-for-bit identical to merging its cells
+sequentially; folding the per-segment partials associates the adds
+differently than one flat loop over all cells (just like the
+thread-pool shard fold does), so cross-segment aggregates can differ
+from the object layout at the last-ulp level.  Pass
+``packed_moments=False`` to benchmark the object-per-cell layout.
 """
 
 from __future__ import annotations
@@ -27,15 +41,28 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.errors import QueryError
-from .aggregators import AggregatorFactory, AggregatorState
+from ..core.sketch import MomentsSketch
+from ..store import PackedSketchStore
+from .aggregators import (AggregatorFactory, AggregatorState,
+                          MomentsSketchAggregator, SummaryState)
 
 
 @dataclass
 class Segment:
-    """One time chunk: cube cells keyed by dimension tuple."""
+    """One time chunk: cube cells keyed by dimension tuple.
+
+    ``cells`` holds the object-per-cell aggregator states; packed
+    moments aggregators instead keep one :class:`PackedSketchStore` per
+    aggregator name in ``packed``, with ``packed_rows`` mapping each cell
+    key to its store row.  Every cell key appears in ``cells`` even when
+    all its aggregators are packed, so scans and ``num_cells`` are
+    layout-agnostic.
+    """
 
     chunk: int
     cells: dict[tuple, dict[str, AggregatorState]] = field(default_factory=dict)
+    packed: dict[str, PackedSketchStore] = field(default_factory=dict)
+    packed_rows: dict[str, dict[tuple, int]] = field(default_factory=dict)
 
     @property
     def num_cells(self) -> int:
@@ -62,13 +89,18 @@ class DruidEngine:
     def __init__(self, dimensions: Sequence[str],
                  aggregators: Mapping[str, AggregatorFactory],
                  granularity: float = 3600.0,
-                 processing_threads: int = 2):
+                 processing_threads: int = 2,
+                 packed_moments: bool = True):
         if not dimensions:
             raise QueryError("need at least one dimension")
         self.dimensions = tuple(dimensions)
         self.aggregators = dict(aggregators)
         self.granularity = float(granularity)
         self.processing_threads = max(int(processing_threads), 1)
+        self.packed_moments = bool(packed_moments)
+        self._packed_names = frozenset(
+            name for name, factory in self.aggregators.items()
+            if packed_moments and isinstance(factory, MomentsSketchAggregator))
         self.segments: dict[int, Segment] = {}
 
     # ------------------------------------------------------------------
@@ -104,11 +136,26 @@ class DruidEngine:
             cell = segment.cells.get(key)
             if cell is None:
                 cell = {name: factory.create()
-                        for name, factory in self.aggregators.items()}
+                        for name, factory in self.aggregators.items()
+                        if name not in self._packed_names}
                 segment.cells[key] = cell
             batch = values[start:end]
             for state in cell.values():
                 state.aggregate(batch)
+            for name in self._packed_names:
+                store = segment.packed.get(name)
+                if store is None:
+                    factory = self.aggregators[name]
+                    assert isinstance(factory, MomentsSketchAggregator)
+                    store = PackedSketchStore(k=factory.k)
+                    segment.packed[name] = store
+                    segment.packed_rows[name] = {}
+                rows = segment.packed_rows[name]
+                row = rows.get(key)
+                if row is None:
+                    row = store.new_row()
+                    rows[key] = row
+                store.accumulate_row(row, batch)
 
     @property
     def num_cells(self) -> int:
@@ -118,31 +165,75 @@ class DruidEngine:
     # Broker
     # ------------------------------------------------------------------
 
-    def _matching_states(self, aggregator: str,
-                         filters: Mapping[str, object] | None,
-                         interval: tuple[float, float] | None
-                         ) -> list[AggregatorState]:
-        if aggregator not in self.aggregators:
-            raise QueryError(f"unknown aggregator {aggregator!r}; "
-                             f"registered: {sorted(self.aggregators)}")
-        positions = {}
+    def _filter_positions(self, filters: Mapping[str, object] | None
+                          ) -> dict[int, object]:
+        positions: dict[int, object] = {}
         if filters:
             for dim, value in filters.items():
                 if dim not in self.dimensions:
                     raise QueryError(f"unknown dimension {dim!r}")
                 positions[self.dimensions.index(dim)] = value
-        chunk_range = None
-        if interval is not None:
-            chunk_range = (int(np.floor(interval[0] / self.granularity)),
-                           int(np.floor(interval[1] / self.granularity)))
+        return positions
+
+    def _scanned_segments(self, interval: tuple[float, float] | None
+                          ) -> list[Segment]:
+        if interval is None:
+            return list(self.segments.values())
+        lo = int(np.floor(interval[0] / self.granularity))
+        hi = int(np.floor(interval[1] / self.granularity))
+        return [segment for chunk, segment in self.segments.items()
+                if lo <= chunk <= hi]
+
+    def _check_aggregator(self, aggregator: str) -> None:
+        if aggregator not in self.aggregators:
+            raise QueryError(f"unknown aggregator {aggregator!r}; "
+                             f"registered: {sorted(self.aggregators)}")
+
+    def _matching_states(self, aggregator: str,
+                         filters: Mapping[str, object] | None,
+                         interval: tuple[float, float] | None
+                         ) -> list[AggregatorState]:
+        self._check_aggregator(aggregator)
+        positions = self._filter_positions(filters)
         states = []
-        for chunk, segment in self.segments.items():
-            if chunk_range is not None and not chunk_range[0] <= chunk <= chunk_range[1]:
-                continue
+        for segment in self._scanned_segments(interval):
             for key, cell in segment.cells.items():
                 if all(key[pos] == value for pos, value in positions.items()):
                     states.append(cell[aggregator])
         return states
+
+    def _matching_packed_rows(self, aggregator: str,
+                              filters: Mapping[str, object] | None,
+                              interval: tuple[float, float] | None
+                              ) -> list[tuple[PackedSketchStore, np.ndarray]]:
+        """Per-segment (store, matching row indices) pairs for a scan."""
+        self._check_aggregator(aggregator)
+        positions = self._filter_positions(filters)
+        refs = []
+        for segment in self._scanned_segments(interval):
+            store = segment.packed.get(aggregator)
+            if store is None:
+                continue
+            rows = segment.packed_rows[aggregator]
+            if positions:
+                matching = np.fromiter(
+                    (row for key, row in rows.items()
+                     if all(key[pos] == value
+                            for pos, value in positions.items())),
+                    dtype=np.intp)
+            else:
+                matching = np.fromiter(rows.values(), dtype=np.intp)
+            if matching.size:
+                refs.append((store, matching))
+        return refs
+
+    def _wrap_packed(self, aggregator: str, sketch: MomentsSketch
+                     ) -> AggregatorState:
+        """Wrap a merged sketch in the aggregator's state type."""
+        state = self.aggregators[aggregator].create()
+        assert isinstance(state, SummaryState)
+        state.summary.sketch = sketch
+        return state
 
     def query(self, aggregator: str, phi: float = 0.5,
               filters: Mapping[str, object] | None = None,
@@ -150,19 +241,36 @@ class DruidEngine:
         """Scan matching cells, merge states, finalize (the Eq. 2 plan).
 
         ``phi`` reaches the aggregator's ``finalize`` (quantile aggregators
-        use it; ``sum`` ignores it).  Merging shards across the processing
-        thread pool as Druid's historical nodes do.
+        use it; ``sum`` ignores it).  Packed moments aggregators merge each
+        segment's matching rows with one vectorized reduction and fold the
+        per-segment partials; other aggregators merge object-by-object,
+        sharded across the processing thread pool as Druid's historical
+        nodes do.
         """
-        states = self._matching_states(aggregator, filters, interval)
-        if not states:
-            raise QueryError("query matched no cells")
-        start = time.perf_counter()
-        merged = self._merge_states(states)
-        merge_seconds = time.perf_counter() - start
+        if aggregator in self._packed_names:
+            refs = self._matching_packed_rows(aggregator, filters, interval)
+            scanned = sum(rows.size for _, rows in refs)
+            if scanned == 0:
+                raise QueryError("query matched no cells")
+            start = time.perf_counter()
+            partials = [store.batch_merge(rows) for store, rows in refs]
+            sketch = partials[0]
+            for partial in partials[1:]:
+                sketch.merge(partial)
+            merged: AggregatorState = self._wrap_packed(aggregator, sketch)
+            merge_seconds = time.perf_counter() - start
+        else:
+            states = self._matching_states(aggregator, filters, interval)
+            if not states:
+                raise QueryError("query matched no cells")
+            scanned = len(states)
+            start = time.perf_counter()
+            merged = self._merge_states(states)
+            merge_seconds = time.perf_counter() - start
         start = time.perf_counter()
         value = merged.finalize(phi=phi)
         finalize_seconds = time.perf_counter() - start
-        return QueryResult(value=value, cells_scanned=len(states),
+        return QueryResult(value=value, cells_scanned=scanned,
                            merge_seconds=merge_seconds,
                            finalize_seconds=finalize_seconds)
 
@@ -182,25 +290,63 @@ class DruidEngine:
             partials = list(pool.map(fold, shards))
         return fold(partials)
 
-    def group_by(self, aggregator: str, dimension: str, phi: float = 0.5,
-                 filters: Mapping[str, object] | None = None
-                 ) -> dict[object, float]:
-        """Per-dimension-value finalized results (Druid groupBy query)."""
+    def group_states(self, aggregator: str, dimension: str,
+                     filters: Mapping[str, object] | None = None
+                     ) -> dict[object, AggregatorState]:
+        """Merged aggregator state per distinct value of ``dimension``.
+
+        The shared machinery behind groupBy and topN.  Packed moments
+        aggregators merge each segment's rows group-wise with vectorized
+        reductions and fold the per-segment partial sketches.
+        """
+        self._check_aggregator(aggregator)
         if dimension not in self.dimensions:
             raise QueryError(f"unknown dimension {dimension!r}")
         position = self.dimensions.index(dimension)
+        positions = self._filter_positions(filters)
+        if aggregator in self._packed_names:
+            sketches: dict[object, MomentsSketch] = {}
+            for segment in self.segments.values():
+                store = segment.packed.get(aggregator)
+                if store is None:
+                    continue
+                rows: list[int] = []
+                group_keys: list[object] = []
+                for key, row in segment.packed_rows[aggregator].items():
+                    if not all(key[pos] == value
+                               for pos, value in positions.items()):
+                        continue
+                    rows.append(row)
+                    group_keys.append(key[position])
+                if not rows:
+                    continue
+                for value, sketch in store.batch_merge_by(
+                        rows, group_keys).items():
+                    existing = sketches.get(value)
+                    if existing is None:
+                        sketches[value] = sketch
+                    else:
+                        existing.merge(sketch)
+            return {value: self._wrap_packed(aggregator, sketch)
+                    for value, sketch in sketches.items()}
         groups: dict[object, AggregatorState] = {}
         for segment in self.segments.values():
             for key, cell in segment.cells.items():
-                if filters and any(
-                        key[self.dimensions.index(d)] != v
-                        for d, v in filters.items()):
+                if not all(key[pos] == value
+                           for pos, value in positions.items()):
                     continue
                 value = key[position]
                 if value in groups:
                     groups[value].merge(cell[aggregator])
                 else:
                     groups[value] = cell[aggregator].copy()
+        return groups
+
+    def group_by(self, aggregator: str, dimension: str, phi: float = 0.5,
+                 filters: Mapping[str, object] | None = None
+                 ) -> dict[object, float]:
+        """Per-dimension-value finalized results (Druid groupBy query)."""
+        groups = self.group_states(aggregator, dimension, filters)
         return {value: state.finalize(phi=phi) for value, state in groups.items()}
 
 
@@ -224,22 +370,7 @@ def top_n_by_quantile(engine: DruidEngine, aggregator: str, dimension: str,
 
     if n < 1:
         raise QueryError(f"n must be positive, got {n}")
-    if dimension not in engine.dimensions:
-        raise QueryError(f"unknown dimension {dimension!r}")
-    position = engine.dimensions.index(dimension)
-    groups: dict[object, AggregatorState] = {}
-    for segment in engine.segments.values():
-        for key, cell in segment.cells.items():
-            if filters and any(key[engine.dimensions.index(d)] != v
-                               for d, v in filters.items()):
-                continue
-            if aggregator not in cell:
-                raise QueryError(f"unknown aggregator {aggregator!r}")
-            value = key[position]
-            if value in groups:
-                groups[value].merge(cell[aggregator])
-            else:
-                groups[value] = cell[aggregator].copy()
+    groups = engine.group_states(aggregator, dimension, filters)
     if not groups:
         raise QueryError("query matched no cells")
 

@@ -1,0 +1,8 @@
+"""Columnar packed sketch storage (structure-of-arrays, vectorized merge).
+
+See :mod:`repro.store.packed` for the layout and the Eq. 2 rationale.
+"""
+
+from .packed import PackedSketchStore, pack
+
+__all__ = ["PackedSketchStore", "pack"]

@@ -2,12 +2,13 @@
 
 from .sliding import (
     Pane, TurnstileWindowProcessor, WindowAlert, WindowQueryResult,
-    build_panes, inject_spikes, remerge_windows,
+    build_panes, inject_spikes, pack_panes, remerge_windows,
+    remerge_windows_packed,
 )
 from .streaming import MonitorState, StreamingWindowMonitor
 
 __all__ = [
     "Pane", "TurnstileWindowProcessor", "WindowAlert", "WindowQueryResult",
-    "build_panes", "inject_spikes", "remerge_windows",
-    "MonitorState", "StreamingWindowMonitor",
+    "build_panes", "inject_spikes", "pack_panes", "remerge_windows",
+    "remerge_windows_packed", "MonitorState", "StreamingWindowMonitor",
 ]

@@ -15,6 +15,13 @@ Two execution strategies, matching Figure 14:
 * :func:`remerge_windows` — the strategy any non-subtractable summary is
   stuck with: re-merge all ``w`` panes at every slide (used for the
   Merge12 baseline bar).
+
+Both strategies keep the pane ring as a
+:class:`~repro.store.PackedSketchStore` (:func:`pack_panes`): the
+turnstile processor builds its initial window with one vectorized
+reduction, and :func:`remerge_windows_packed` turns every window
+re-merge — the Merge12-style baseline cost — into a single
+``batch_merge`` reduction instead of ``w`` Python-level merges.
 """
 
 from __future__ import annotations
@@ -28,7 +35,9 @@ import numpy as np
 from ..core.cascade import ThresholdCascade
 from ..core.sketch import MomentsSketch
 from ..core.solver import SolverConfig
+from ..store import PackedSketchStore
 from ..summaries.base import QuantileSummary
+from ..summaries.moments_summary import MomentsSummary
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,18 @@ def build_panes(values: np.ndarray, pane_size: int, k: int = 10) -> list[Pane]:
                           min=float(chunk.min()), max=float(chunk.max()),
                           count=float(chunk.size)))
     return panes
+
+
+def pack_panes(panes: Sequence[Pane]) -> PackedSketchStore:
+    """Pack pane sketches into one columnar store, row i = pane position i."""
+    if not panes:
+        raise ValueError("no panes to pack")
+    first = panes[0].sketch
+    store = PackedSketchStore(k=first.k, track_log=first.track_log,
+                              capacity=len(panes))
+    for pane in panes:
+        store.append(pane.sketch)
+    return store
 
 
 @dataclass(frozen=True)
@@ -93,6 +114,19 @@ class TurnstileWindowProcessor:
         self.config = config or SolverConfig()
         self.cascade = ThresholdCascade(config=self.config,
                                         enabled_stages=cascade_stages)
+        # Columnar pane ring: the initial window build (and any re-merge)
+        # is one vectorized reduction instead of a merge loop.
+        self.store = pack_panes(self.panes)
+
+    def rebuild_window(self, position: int) -> MomentsSketch:
+        """Re-merge the window starting at ``position`` in one reduction.
+
+        Bit-for-bit identical to the sequential copy+merge fold over the
+        same panes; useful to cancel subtract-induced float drift on very
+        long streams and as the packed Merge12-style baseline step.
+        """
+        return self.store.batch_merge(
+            np.arange(position, position + self.window_panes))
 
     def query(self, threshold: float, phi: float = 0.99) -> WindowQueryResult:
         """Find all windows with ``quantile(phi) > threshold``."""
@@ -102,9 +136,7 @@ class TurnstileWindowProcessor:
         estimation_seconds = 0.0
 
         start = time.perf_counter()
-        window = self.panes[0].sketch.copy()
-        for pane in self.panes[1:w]:
-            window.merge(pane.sketch)
+        window = self.rebuild_window(0)
         merge_seconds += time.perf_counter() - start
 
         position = 0
@@ -158,6 +190,49 @@ def remerge_windows(pane_summaries: Sequence[QuantileSummary], window_panes: int
                                       stage="estimate"))
     return WindowQueryResult(alerts=alerts,
                              windows_checked=len(pane_summaries) - window_panes + 1,
+                             merge_seconds=merge_seconds,
+                             estimation_seconds=estimation_seconds)
+
+
+def remerge_windows_packed(panes: Sequence[Pane], window_panes: int,
+                           threshold: float, phi: float = 0.99,
+                           config: SolverConfig | None = None
+                           ) -> WindowQueryResult:
+    """Re-merge strategy over a packed pane ring: one reduction per window.
+
+    The same plan as :func:`remerge_windows` (re-merge all ``w`` panes at
+    every slide — what a non-subtractable summary is forced to do), but
+    with the pane ring packed columnar so each window's merge is a single
+    ``batch_merge`` reduction.  Alerts match the loop-based re-merge
+    exactly: the merged sketches are bit-for-bit identical.
+    """
+    if window_panes < 1:
+        raise ValueError("window must span at least one pane")
+    if len(panes) < window_panes:
+        raise ValueError("not enough panes for one window")
+    config = config or SolverConfig()
+    store = pack_panes(panes)
+    alerts: list[WindowAlert] = []
+    merge_seconds = 0.0
+    estimation_seconds = 0.0
+    for position in range(len(panes) - window_panes + 1):
+        start = time.perf_counter()
+        merged = store.batch_merge(
+            np.arange(position, position + window_panes))
+        merge_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        summary = MomentsSummary(k=merged.k, track_log=merged.track_log,
+                                 config=config)
+        summary.sketch = merged
+        estimate = summary.quantile(phi)
+        estimation_seconds += time.perf_counter() - start
+        if estimate > threshold:
+            alerts.append(WindowAlert(
+                start_pane=panes[position].index,
+                end_pane=panes[position + window_panes - 1].index,
+                stage="estimate"))
+    return WindowQueryResult(alerts=alerts,
+                             windows_checked=len(panes) - window_panes + 1,
                              merge_seconds=merge_seconds,
                              estimation_seconds=estimation_seconds)
 

@@ -10,6 +10,15 @@ threshold.
 The monitor holds at most ``window_panes`` sealed pane sketches plus the
 open pane buffer — O(window) memory regardless of stream length — and each
 pane boundary costs one merge, one subtract, and one cascade evaluation.
+
+The sealed panes live in a fixed-capacity
+:class:`~repro.store.PackedSketchStore` ring (``window_panes + 1`` rows,
+reused round-robin), so pane state is columnar: sealing writes into one
+row, the per-pane :class:`Pane` records carry zero-copy view sketches,
+and :meth:`StreamingWindowMonitor.recompute_window` can re-merge the
+whole ring in a single vectorized reduction — used every
+``resync_every`` panes to cancel the float drift that pure
+subtract/merge turnstile updates accumulate on unbounded streams.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import numpy as np
 from ..core.cascade import ThresholdCascade
 from ..core.sketch import MomentsSketch
 from ..core.solver import SolverConfig
+from ..store import PackedSketchStore
 from .sliding import Pane, WindowAlert
 
 
@@ -49,16 +59,24 @@ class StreamingWindowMonitor:
     on_alert:
         Optional callback invoked with each :class:`WindowAlert` as it
         fires (the "alerting" of Section 7.2.2).
+    resync_every:
+        Rebuild the window from the packed pane ring (one vectorized
+        reduction) every this many sealed panes, cancelling turnstile
+        float drift.  ``0`` (the default) disables periodic resync;
+        :meth:`recompute_window` remains available for manual repair.
     """
 
     def __init__(self, pane_size: int, window_panes: int, threshold: float,
                  phi: float = 0.99, k: int = 10,
                  on_alert: Callable[[WindowAlert], None] | None = None,
-                 config: SolverConfig | None = None):
+                 config: SolverConfig | None = None,
+                 resync_every: int = 0):
         if pane_size < 1:
             raise ValueError(f"pane_size must be positive, got {pane_size}")
         if window_panes < 1:
             raise ValueError(f"window_panes must be positive, got {window_panes}")
+        if resync_every < 0:
+            raise ValueError(f"resync_every must be >= 0, got {resync_every}")
         self.pane_size = int(pane_size)
         self.window_panes = int(window_panes)
         self.threshold = float(threshold)
@@ -66,8 +84,16 @@ class StreamingWindowMonitor:
         self.k = int(k)
         self.on_alert = on_alert
         self.config = config or SolverConfig()
+        self.resync_every = int(resync_every)
         self.cascade = ThresholdCascade(config=self.config)
 
+        # Pane ring: w+1 packed rows reused round-robin.  A sealing pane
+        # claims slot index % (w+1); the slot it overwrites belonged to a
+        # pane that slid out of the window one boundary earlier.
+        self._ring = PackedSketchStore(k=self.k,
+                                       capacity=self.window_panes + 1)
+        for _ in range(self.window_panes + 1):
+            self._ring.new_row()
         self._panes: deque[Pane] = deque()
         self._window: MomentsSketch | None = None
         self._open_values: list[float] = []
@@ -101,8 +127,14 @@ class StreamingWindowMonitor:
     def _seal_pane(self) -> WindowAlert | None:
         chunk = np.asarray(self._open_values)
         self._open_values = []
+        slot = self._pane_index % (self.window_panes + 1)
+        self._ring.clear_row(slot)
+        self._ring.accumulate_row(slot, chunk)
+        # The pane's sketch is a zero-copy view of its ring row; it stays
+        # valid until the slot is reused, which happens only after the
+        # pane has slid out of the window and been subtracted.
         pane = Pane(index=self._pane_index,
-                    sketch=MomentsSketch.from_data(chunk, k=self.k),
+                    sketch=self._ring.sketch_at(slot, copy=False),
                     min=float(chunk.min()), max=float(chunk.max()),
                     count=float(chunk.size))
         self._pane_index += 1
@@ -118,6 +150,8 @@ class StreamingWindowMonitor:
                 outgoing.sketch,
                 new_min=min(p.min for p in self._panes),
                 new_max=max(p.max for p in self._panes))
+            if self.resync_every and pane.index % self.resync_every == 0:
+                self._window = self.recompute_window()
 
         alert = None
         if self.window_ready:
@@ -150,3 +184,17 @@ class StreamingWindowMonitor:
     def current_window(self) -> MomentsSketch | None:
         """The live window sketch (None before the first sealed pane)."""
         return self._window
+
+    def recompute_window(self) -> MomentsSketch:
+        """Re-merge the sealed pane ring in one vectorized reduction.
+
+        Bit-for-bit identical to merging the live panes sequentially in
+        pane order — i.e. a drift-free replacement for the turnstile
+        window.  Raises if no pane has been sealed yet.
+        """
+        if not self._panes:
+            raise ValueError("no sealed panes to merge")
+        slots = np.asarray(
+            [p.index % (self.window_panes + 1) for p in self._panes],
+            dtype=np.intp)
+        return self._ring.batch_merge(slots)

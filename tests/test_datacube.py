@@ -117,3 +117,106 @@ class TestGroupBy:
         mask = country == "US"
         for v, summary in groups.items():
             assert summary.count == int(np.sum(mask & (version == v)))
+
+
+class TestPackedBackend:
+    def test_auto_backend_selection(self):
+        packed = DataCube(CubeSchema(("d",)), lambda: MomentsSummary(k=6))
+        generic = DataCube(CubeSchema(("d",)), ExactSummary)
+        assert packed.backend == "packed"
+        assert generic.backend == "dict"
+        assert packed.store is not None and generic.store is None
+
+    def test_packed_backend_requires_moments(self):
+        with pytest.raises(QueryError):
+            DataCube(CubeSchema(("d",)), ExactSummary, backend="packed")
+        with pytest.raises(QueryError):
+            DataCube(CubeSchema(("d",)), ExactSummary, backend="columnar")
+
+    def test_packed_rollup_matches_dict_backend_bitwise(self):
+        rng = np.random.default_rng(5)
+        n = 10_000
+        country = rng.choice(["US", "CA", "MX"], n)
+        version = rng.integers(0, 4, n)
+        values = rng.lognormal(1.0, 1.0, n)
+        factory = lambda: MomentsSummary(k=8)
+        packed = DataCube(CubeSchema(("country", "version")), factory,
+                          backend="packed")
+        plain = DataCube(CubeSchema(("country", "version")), factory,
+                         backend="dict")
+        packed.ingest([country, version], values)
+        plain.ingest([country, version], values)
+        assert packed.num_cells == plain.num_cells
+        for filters in (None, {"country": "US"},
+                        {"country": "CA", "version": 2}):
+            a = packed.rollup(filters).sketch
+            b = plain.rollup(filters).sketch
+            assert a.count == b.count
+            assert np.array_equal(a.power_sums, b.power_sums)
+            assert np.array_equal(a.log_sums, b.log_sums)
+            assert a.min == b.min and a.max == b.max
+            assert packed.last_merge_count == plain.last_merge_count
+
+    def test_packed_group_by_matches_dict_backend(self):
+        rng = np.random.default_rng(6)
+        n = 5_000
+        dim = rng.integers(0, 6, n)
+        values = rng.lognormal(0.5, 1.0, n)
+        factory = lambda: MomentsSummary(k=6)
+        packed = DataCube(CubeSchema(("d",)), factory, backend="packed")
+        plain = DataCube(CubeSchema(("d",)), factory, backend="dict")
+        packed.ingest([dim], values)
+        plain.ingest([dim], values)
+        packed_groups = packed.group_by("d")
+        plain_groups = plain.group_by("d")
+        assert set(packed_groups) == set(plain_groups)
+        for key in plain_groups:
+            assert np.array_equal(packed_groups[key].sketch.power_sums,
+                                  plain_groups[key].sketch.power_sums)
+
+    def test_packed_insert_cell_merges_existing(self):
+        cube = DataCube(CubeSchema(("d",)),
+                        lambda: MomentsSummary(k=5), backend="packed")
+        cube.insert_cell(("x",), MomentsSummary.from_data([1.0, 2.0], k=5))
+        cube.insert_cell(("x",), MomentsSummary.from_data([3.0], k=5))
+        assert cube.num_cells == 1
+        assert cube.cells[("x",)].count == 3
+
+    def test_packed_insert_cell_rejects_foreign_summary(self):
+        cube = DataCube(CubeSchema(("d",)),
+                        lambda: MomentsSummary(k=5), backend="packed")
+        with pytest.raises(QueryError):
+            cube.insert_cell(("x",), ExactSummary.from_data([1.0]))
+
+    def test_packed_cells_view_is_read_consistent(self):
+        rng = np.random.default_rng(7)
+        cube = DataCube(CubeSchema(("d",)), lambda: MomentsSummary(k=5))
+        cube.ingest([rng.integers(0, 3, 1000)], rng.lognormal(0, 1, 1000))
+        total = sum(cell.count for cell in cube.cells.values())
+        assert total == 1000
+        cube.rollup()
+        assert sum(cell.count for cell in cube.cells.values()) == total
+
+    def test_packed_ingest_slabs_stay_bitwise_equal(self):
+        # Many groups + a slab budget far below the batch size forces
+        # multiple batch_accumulate slabs; results must stay bit-equal.
+        rng = np.random.default_rng(8)
+        n = 20_000
+        dim = rng.integers(0, 50, n)
+        values = rng.lognormal(0.5, 1.0, n)
+        factory = lambda: MomentsSummary(k=6)
+        packed = DataCube(CubeSchema(("d",)), factory, backend="packed")
+        plain = DataCube(CubeSchema(("d",)), factory, backend="dict")
+        packed.ingest([dim], values)
+        plain.ingest([dim], values)
+        for key, cell in plain.cells.items():
+            assert np.array_equal(packed.cells[key].sketch.power_sums,
+                                  cell.sketch.power_sums)
+
+    def test_packed_cell_access_cannot_corrupt_store(self):
+        cube = DataCube(CubeSchema(("d",)), lambda: MomentsSummary(k=5))
+        cube.ingest([np.asarray([0, 0, 1])], np.asarray([1.0, 2.0, 3.0]))
+        view = cube.cells[(0,)]
+        view.accumulate([100.0])  # mutates the copy only
+        assert cube.cells[(0,)].count == 2
+        assert cube.rollup().count == 3

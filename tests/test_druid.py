@@ -121,3 +121,74 @@ class TestAggregatorPlugins:
         clone.aggregate(np.asarray([100.0]))
         assert state.summary.count == 2
         assert clone.summary.count == 3
+
+
+class TestPackedMoments:
+    @pytest.fixture(scope="class")
+    def engine_pair(self):
+        rng = np.random.default_rng(3)
+        n = 20_000
+        timestamps = rng.uniform(0, 12 * 3600, n)
+        grid = rng.integers(0, 10, n)
+        country = rng.choice(["US", "CA"], n)
+        values = rng.lognormal(1.0, 1.0, n)
+        engines = []
+        for packed in (True, False):
+            engine = DruidEngine(
+                dimensions=("grid", "country"),
+                aggregators=registry(moment_orders=(8,), histogram_bins=()),
+                granularity=3600.0,
+                processing_threads=1,
+                packed_moments=packed,
+            )
+            engine.ingest(timestamps, [grid, country], values)
+            engines.append(engine)
+        return engines
+
+    def test_segments_hold_packed_stores(self, engine_pair):
+        packed, plain = engine_pair
+        assert packed.packed_moments and not plain.packed_moments
+        for segment in packed.segments.values():
+            store = segment.packed["momentsSketch@8"]
+            assert len(store) == segment.num_cells
+            assert "momentsSketch@8" not in next(iter(segment.cells.values()))
+        for segment in plain.segments.values():
+            assert not segment.packed
+            assert "momentsSketch@8" in next(iter(segment.cells.values()))
+
+    def test_num_cells_agree(self, engine_pair):
+        packed, plain = engine_pair
+        assert packed.num_cells == plain.num_cells
+
+    def test_query_matches_object_layout(self, engine_pair):
+        packed, plain = engine_pair
+        for kwargs in ({}, {"filters": {"country": "US"}},
+                       {"interval": (0.0, 4 * 3600 - 1e-6)}):
+            a = packed.query("momentsSketch@8", phi=0.95, **kwargs)
+            b = plain.query("momentsSketch@8", phi=0.95, **kwargs)
+            assert a.cells_scanned == b.cells_scanned
+            assert a.value == pytest.approx(b.value, rel=1e-9)
+
+    def test_group_by_matches_object_layout(self, engine_pair):
+        packed, plain = engine_pair
+        a = packed.group_by("momentsSketch@8", "country", phi=0.9)
+        b = plain.group_by("momentsSketch@8", "country", phi=0.9)
+        assert set(a) == set(b)
+        for key in a:
+            assert a[key] == pytest.approx(b[key], rel=1e-9)
+
+    def test_packed_group_states_expose_summaries(self, engine_pair):
+        packed, _ = engine_pair
+        states = packed.group_states("momentsSketch@8", "country")
+        for state in states.values():
+            assert state.summary.sketch.count > 0
+
+    def test_packed_query_no_match_rejected(self, engine_pair):
+        packed, _ = engine_pair
+        with pytest.raises(QueryError):
+            packed.query("momentsSketch@8", filters={"country": "ZZ"})
+
+    def test_sum_path_unaffected_by_packing(self, engine_pair):
+        packed, plain = engine_pair
+        assert packed.query("sum").value == pytest.approx(
+            plain.query("sum").value, rel=1e-12)

@@ -221,3 +221,140 @@ class TestCopy:
         assert original.count == 2
         assert duplicate.count == 3
         assert original.max == 2.0
+
+
+class TestSubtractEdgeCases:
+    """Turnstile subtract corners that the packed pane ring leans on."""
+
+    def test_subtract_to_empty_allows_fresh_reuse(self):
+        sketch = MomentsSketch.from_data([-3.0, 5.0], k=4)
+        assert not sketch.log_valid
+        sketch.subtract(sketch.copy())
+        assert sketch.is_empty
+        assert sketch.log_valid  # reset with the rest of the state
+        sketch.accumulate([2.0, 4.0])
+        fresh = MomentsSketch.from_data([2.0, 4.0], k=4)
+        assert np.array_equal(sketch.power_sums, fresh.power_sums)
+        assert np.array_equal(sketch.log_sums, fresh.log_sums)
+        assert sketch.has_log_moments
+
+    def test_subtract_log_invalid_pane_poisons_window(self):
+        window = MomentsSketch.from_data([1.0, 2.0, 3.0, 4.0], k=4)
+        pane = MomentsSketch.from_data([-1.0, 2.0], k=4)
+        assert window.log_valid and not pane.log_valid
+        window.subtract(pane, new_min=1.0, new_max=4.0)
+        assert not window.log_valid
+        with pytest.raises(SketchError):
+            window.log_moments()
+
+    def test_subtract_log_invalid_empty_pane_keeps_window_valid(self):
+        # An emptied log-invalid pane carries no data, so removing it
+        # cannot poison the surviving window.
+        window = MomentsSketch.from_data([1.0, 2.0], k=4)
+        pane = MomentsSketch(k=4)
+        pane.log_valid = False
+        window.subtract(pane)
+        assert window.log_valid
+
+    def test_subtract_untracked_log_pane_poisons_tracked_window(self):
+        window = MomentsSketch.from_data([1.0, 2.0, 3.0], k=4)
+        pane = MomentsSketch.from_data([1.0], k=4, track_log=False)
+        window.subtract(pane)
+        assert not window.log_valid
+
+    def test_count_underflow_rejected_after_turnstile_slides(self):
+        window = MomentsSketch.from_data([1.0, 2.0, 3.0], k=4)
+        pane = MomentsSketch.from_data([4.0, 5.0], k=4)
+        window.merge(pane)
+        window.subtract(pane, new_min=1.0, new_max=3.0)
+        big = MomentsSketch.from_data(np.arange(1.0, 10.0), k=4)
+        with pytest.raises(SketchError):
+            window.subtract(big)
+        # The failed subtract must not have mutated the window.
+        assert window.count == 3
+
+    def test_subtract_keeps_conservative_extrema_without_hints(self):
+        window = MomentsSketch.from_data([1.0, 10.0], k=3)
+        pane = MomentsSketch.from_data([10.0], k=3)
+        window.subtract(pane)
+        assert window.min == 1.0 and window.max == 10.0
+
+
+class TestStandardMomentsAliasing:
+    """standard_moments()/log_moments() must never alias sketch state."""
+
+    def test_returned_array_is_not_a_view_of_power_sums(self):
+        sketch = MomentsSketch.from_data([1.0, 2.0, 3.0], k=4)
+        mu = sketch.standard_moments()
+        assert not np.shares_memory(mu, sketch.power_sums)
+
+    def test_caller_mutation_does_not_corrupt_sketch(self):
+        sketch = MomentsSketch.from_data([1.0, 2.0, 3.0], k=4)
+        before = sketch.power_sums.copy()
+        mu = sketch.standard_moments()
+        mu[:] = -999.0
+        assert np.array_equal(sketch.power_sums, before)
+        nu = sketch.log_moments()
+        nu[:] = -999.0
+        assert np.array_equal(sketch.power_sums, before)
+
+    def test_repeated_calls_are_stable(self):
+        sketch = MomentsSketch.from_data([1.0, 2.0, 3.0], k=4)
+        first = sketch.standard_moments()
+        first_copy = first.copy()
+        second = sketch.standard_moments()
+        assert np.array_equal(first_copy, second)
+        assert first is not second
+        first_log = sketch.log_moments()
+        second_log = sketch.log_moments()
+        assert np.array_equal(first_log, second_log)
+        assert first_log is not second_log
+
+
+class TestFromBytesAdversarial:
+    """Wire-format fuzzing: corrupt inputs fail loudly, never silently."""
+
+    def test_every_truncation_of_a_valid_blob_rejected(self):
+        blob = MomentsSketch.from_data([1.0, 2.0], k=3).to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(SketchError):
+                MomentsSketch.from_bytes(blob[:cut])
+
+    def test_truncations_of_logless_blob_rejected(self):
+        blob = MomentsSketch.from_data([1.0, 2.0], k=3,
+                                       track_log=False).to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(SketchError):
+                MomentsSketch.from_bytes(blob[:cut])
+
+    def test_logless_roundtrip_state(self):
+        sketch = MomentsSketch.from_data([0.5, -2.0, 7.0], k=3,
+                                         track_log=False)
+        restored = MomentsSketch.from_bytes(sketch.to_bytes())
+        assert not restored.track_log
+        assert not restored.log_valid
+        assert np.array_equal(restored.power_sums, sketch.power_sums)
+        assert restored.min == sketch.min and restored.max == sketch.max
+
+    def test_corrupt_order_byte_rejected(self):
+        blob = bytearray(MomentsSketch.from_data([1.0], k=3).to_bytes())
+        blob[4] = 0
+        with pytest.raises(SketchError):
+            MomentsSketch.from_bytes(bytes(blob))
+        blob[4] = 200
+        with pytest.raises(SketchError):
+            MomentsSketch.from_bytes(bytes(blob))
+
+    def test_flag_byte_flip_changes_expected_length(self):
+        # Clearing the track_log flag makes the payload too long for the
+        # declared layout; the decoder must notice, not misparse.
+        blob = bytearray(MomentsSketch.from_data([1.0], k=3).to_bytes())
+        assert blob[5] & 1
+        blob[5] = 0
+        with pytest.raises(SketchError):
+            MomentsSketch.from_bytes(bytes(blob))
+
+    def test_empty_and_garbage_buffers_rejected(self):
+        for junk in (b"", b"\x00", b"MSK1", b"\xff" * 7):
+            with pytest.raises(SketchError):
+                MomentsSketch.from_bytes(junk)

@@ -89,3 +89,62 @@ class TestAlerting:
         monitor.ingest(np.full(500, 10.0))  # five panes, window needs ten
         assert not monitor.alerts
         assert not monitor.window_ready
+
+
+class TestPackedRing:
+    def test_ring_slots_back_live_panes(self):
+        rng = np.random.default_rng(0)
+        monitor = StreamingWindowMonitor(pane_size=100, window_panes=4,
+                                         threshold=1e12)
+        monitor.ingest(rng.lognormal(1, 1, 1200))
+        assert len(monitor._ring) == 5  # window_panes + 1 ring rows
+        for pane in monitor._panes:
+            slot = pane.index % 5
+            assert np.shares_memory(pane.sketch.power_sums,
+                                    monitor._ring.power_sums[slot])
+
+    def test_recompute_window_matches_turnstile_state(self):
+        rng = np.random.default_rng(1)
+        monitor = StreamingWindowMonitor(pane_size=100, window_panes=4,
+                                         threshold=1e12)
+        monitor.ingest(rng.lognormal(1, 1, 2500))
+        recomputed = monitor.recompute_window()
+        live = monitor.current_window
+        assert recomputed.count == live.count
+        assert np.allclose(recomputed.power_sums, live.power_sums,
+                           rtol=1e-9)
+
+    def test_recompute_without_panes_rejected(self):
+        monitor = StreamingWindowMonitor(pane_size=100, window_panes=4,
+                                         threshold=1.0)
+        with pytest.raises(ValueError):
+            monitor.recompute_window()
+
+    def test_resync_matches_default_alerts(self):
+        rng = np.random.default_rng(2)
+        values = inject_spikes(rng.lognormal(1, 1, 4000), pane_size=100,
+                               spike_panes=[15, 16], spike_value=300.0)
+        baseline = StreamingWindowMonitor(pane_size=100, window_panes=4,
+                                          threshold=80.0)
+        resynced = StreamingWindowMonitor(pane_size=100, window_panes=4,
+                                          threshold=80.0, resync_every=3)
+        baseline.ingest(values)
+        resynced.ingest(values)
+        assert ([(a.start_pane, a.end_pane) for a in resynced.alerts]
+                == [(a.start_pane, a.end_pane) for a in baseline.alerts])
+        assert resynced.alerts
+
+    def test_resync_every_validates(self):
+        with pytest.raises(ValueError):
+            StreamingWindowMonitor(pane_size=10, window_panes=2,
+                                   threshold=1.0, resync_every=-1)
+
+    def test_flush_partial_pane_through_ring(self):
+        rng = np.random.default_rng(3)
+        monitor = StreamingWindowMonitor(pane_size=100, window_panes=3,
+                                         threshold=1e12)
+        monitor.ingest(rng.lognormal(1, 1, 450))
+        monitor.flush()
+        assert monitor._panes[-1].count == 50
+        assert monitor.current_window.count == sum(
+            p.count for p in monitor._panes)

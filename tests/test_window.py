@@ -4,12 +4,14 @@ import numpy as np
 import pytest
 
 from repro.core import MomentsSketch
-from repro.summaries import Merge12Summary
+from repro.summaries import Merge12Summary, MomentsSummary
 from repro.window import (
     TurnstileWindowProcessor,
     build_panes,
     inject_spikes,
+    pack_panes,
     remerge_windows,
+    remerge_windows_packed,
 )
 
 
@@ -134,3 +136,64 @@ class TestSpikeInjection:
         values = np.zeros(100)
         spiked = inject_spikes(values, 50, [10], spike_value=1.0)
         np.testing.assert_array_equal(spiked, values)
+
+
+class TestPackedPaneRing:
+    def test_pack_panes_roundtrip(self):
+        rng = np.random.default_rng(0)
+        panes = build_panes(rng.lognormal(1, 1, 5000), pane_size=250, k=6)
+        store = pack_panes(panes)
+        assert len(store) == len(panes)
+        for i, pane in enumerate(panes):
+            assert np.array_equal(store.power_sums[i], pane.sketch.power_sums)
+
+    def test_rebuild_window_matches_sequential_merge(self):
+        rng = np.random.default_rng(1)
+        panes = build_panes(rng.lognormal(1, 1, 4000), pane_size=200, k=6)
+        processor = TurnstileWindowProcessor(panes, window_panes=5)
+        for position in (0, 3, len(panes) - 5):
+            rebuilt = processor.rebuild_window(position)
+            expected = panes[position].sketch.copy()
+            for pane in panes[position + 1:position + 5]:
+                expected.merge(pane.sketch)
+            assert expected.count == rebuilt.count
+            assert np.array_equal(expected.power_sums, rebuilt.power_sums)
+
+    def test_packed_remerge_matches_loop_remerge(self):
+        rng = np.random.default_rng(2)
+        values = inject_spikes(rng.lognormal(1, 1, 8000), pane_size=200,
+                               spike_panes=[12, 13, 14], spike_value=400.0)
+        panes = build_panes(values, pane_size=200, k=8)
+        summaries = []
+        for pane in panes:
+            summary = MomentsSummary(k=8)
+            summary.sketch = pane.sketch.copy()
+            summaries.append(summary)
+        threshold = 100.0
+        loop = remerge_windows(summaries, window_panes=6, threshold=threshold)
+        packed = remerge_windows_packed(panes, window_panes=6,
+                                        threshold=threshold)
+        assert packed.windows_checked == loop.windows_checked
+        assert ([(a.start_pane, a.end_pane) for a in packed.alerts]
+                == [(a.start_pane, a.end_pane) for a in loop.alerts])
+        assert packed.alerts  # the spike must actually fire
+
+    def test_packed_remerge_agrees_with_turnstile(self):
+        rng = np.random.default_rng(3)
+        values = inject_spikes(rng.lognormal(1, 1, 6000), pane_size=200,
+                               spike_panes=[20, 21], spike_value=500.0)
+        panes = build_panes(values, pane_size=200, k=8)
+        threshold = 120.0
+        turnstile = TurnstileWindowProcessor(panes, window_panes=4).query(threshold)
+        packed = remerge_windows_packed(panes, window_panes=4,
+                                        threshold=threshold)
+        assert ([(a.start_pane, a.end_pane) for a in packed.alerts]
+                == [(a.start_pane, a.end_pane) for a in turnstile.alerts])
+
+    def test_packed_remerge_validates_window(self):
+        panes = build_panes(np.arange(1.0, 100.0), pane_size=10, k=4)
+        with pytest.raises(ValueError):
+            remerge_windows_packed(panes, window_panes=0, threshold=1.0)
+        with pytest.raises(ValueError):
+            remerge_windows_packed(panes, window_panes=len(panes) + 1,
+                                   threshold=1.0)

@@ -7,12 +7,14 @@ from repro.summaries import Merge12Summary, MomentsSummary
 from repro.workload import (
     PHI_GRID,
     build_cells,
+    build_packed_cells,
     calibrate,
     mean_error,
     merge_cells,
     parallel_merge,
     parameter_ladders,
     quantile_errors,
+    run_packed_query,
     run_query,
     strong_scaling,
     time_estimation,
@@ -138,3 +140,36 @@ class TestParallel:
         results = weak_scaling(summaries, [1, 2], merges_per_thread=50)
         assert results[0].num_merges == 49
         assert results[1].num_merges == 99
+
+
+class TestPackedCells:
+    def test_packed_cells_match_loop_built_cells_bitwise(self):
+        rng = np.random.default_rng(21)
+        data = rng.lognormal(1, 1, 10_050)
+        loop_cells = build_cells(data, lambda: MomentsSummary(k=8),
+                                 cell_size=128)
+        packed = build_packed_cells(data, cell_size=128, k=8,
+                                    batch_rows=1_000)
+        assert packed.num_cells == loop_cells.num_cells
+        for i, summary in enumerate(loop_cells.summaries):
+            assert summary.sketch.count == packed.store.counts[i]
+            assert np.array_equal(summary.sketch.power_sums,
+                                  packed.store.power_sums[i])
+
+    def test_run_packed_query_matches_run_query(self):
+        rng = np.random.default_rng(22)
+        data = rng.lognormal(1, 1, 8_000)
+        loop_cells = build_cells(data, lambda: MomentsSummary(k=8),
+                                 cell_size=100)
+        packed = build_packed_cells(data, cell_size=100, k=8)
+        a = run_query(loop_cells, num_cells=40)
+        b = run_packed_query(packed, num_cells=40)
+        assert b.num_merges == a.num_merges
+        assert b.mean_error == a.mean_error
+        assert b.summary_name == "M-Sketch (packed)"
+
+    def test_packed_cells_validate_inputs(self):
+        with pytest.raises(ValueError):
+            build_packed_cells(np.arange(10.0), cell_size=0)
+        with pytest.raises(ValueError):
+            run_packed_query(build_packed_cells(np.zeros(0), cell_size=10))
