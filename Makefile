@@ -1,18 +1,24 @@
-# Test and benchmark entry points.  `make test` is the CI gate: tier-1
-# tests plus a smoke run of the packed-merge benchmark, which fails on
-# any packed-vs-loop divergence.
+# Test and benchmark entry points.  `make test` is the CI gate: byte
+# compilation, tier-1 tests, plus smoke runs of the packed-merge and
+# batched-query benchmarks, which fail on any packed-vs-loop divergence
+# or broken scan sharing.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-merge bench
+.PHONY: test bench-merge bench-batch bench
 
 test:
+	$(PYTHON) -m compileall -q src
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) benchmarks/bench_batch_merge.py --quick
+	$(PYTHON) benchmarks/bench_execute_batch.py --quick
 
 bench-merge:
 	$(PYTHON) benchmarks/bench_batch_merge.py --require-speedup 10
+
+bench-batch:
+	$(PYTHON) benchmarks/bench_execute_batch.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

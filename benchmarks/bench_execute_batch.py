@@ -1,0 +1,107 @@
+"""Batched declarative execution vs one-query-at-a-time (repro.api).
+
+Measures what :meth:`repro.api.QueryService.execute_batch` buys: N
+multi-quantile specs over F distinct filter sets cost F packed merges
+and F estimator solves instead of N of each, because the planner keys
+specs by their scan signature and shares the merged (estimator-caching)
+summary.  The run asserts the sharing invariant — exactly one merge per
+distinct cell subset — and that batched answers equal the one-at-a-time
+answers, so it doubles as an API regression smoke.
+
+Usage::
+
+    python benchmarks/bench_execute_batch.py           # full size
+    python benchmarks/bench_execute_batch.py --quick   # CI smoke
+
+Exits non-zero on any sharing or equivalence violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from any working directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import QueryService, QuerySpec  # noqa: E402
+from repro.datacube import CubeSchema, DataCube  # noqa: E402
+from repro.summaries.moments_summary import MomentsSummary  # noqa: E402
+
+QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+def build_cube(num_tenants: int, cells_per_tenant: int,
+               rows_per_cell: int, k: int = 10, seed: int = 0) -> DataCube:
+    rng = np.random.default_rng(seed)
+    n = num_tenants * cells_per_tenant * rows_per_cell
+    values = rng.lognormal(1.0, 1.0, n)
+    tenant = np.repeat(np.arange(num_tenants), cells_per_tenant * rows_per_cell)
+    shard = np.tile(np.repeat(np.arange(cells_per_tenant), rows_per_cell),
+                    num_tenants)
+    cube = DataCube(CubeSchema(("tenant", "shard")),
+                    lambda: MomentsSummary(k=k))
+    cube.ingest([tenant, shard], values)
+    return cube
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smaller cube, fewer specs")
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="distinct filter sets (default 8; quick 4)")
+    args = parser.parse_args(argv)
+
+    tenants = args.tenants or (4 if args.quick else 8)
+    cells_per_tenant = 500 if args.quick else 5_000
+    rows_per_cell = 20
+
+    cube = build_cube(tenants, cells_per_tenant, rows_per_cell)
+    service = QueryService(cube=cube)
+    specs = [QuerySpec(kind="quantile", quantiles=(q,),
+                       filters={"tenant": t})
+             for t in range(tenants) for q in QUANTILES]
+    print(f"cube: {cube.num_cells} cells, {tenants} tenants; "
+          f"{len(specs)} specs over {tenants} distinct cell subsets")
+
+    start = time.perf_counter()
+    batched = service.execute_batch(specs)
+    batched_seconds = time.perf_counter() - start
+    report = service.last_batch_report
+
+    start = time.perf_counter()
+    singles = [service.execute(spec) for spec in specs]
+    naive_seconds = time.perf_counter() - start
+
+    ok = True
+    if report.merge_calls != tenants or report.distinct_scans != tenants:
+        print(f"FAIL: expected {tenants} merges (one per distinct cell "
+              f"subset), measured {report.merge_calls} "
+              f"across {report.distinct_scans} scans")
+        ok = False
+    mismatches = sum(1 for one, many in zip(singles, batched)
+                     if one.value != many.value)
+    if mismatches:
+        print(f"FAIL: {mismatches} batched answers differ from "
+              "one-at-a-time execution")
+        ok = False
+
+    speedup = naive_seconds / batched_seconds if batched_seconds else float("inf")
+    print(f"{'n_specs':>8} {'batched_s':>10} {'naive_s':>10} {'speedup':>8} "
+          f"{'merges':>7} {'shared':>7}")
+    print(f"{len(specs):>8} {batched_seconds:>10.4f} {naive_seconds:>10.4f} "
+          f"{speedup:>7.1f}x {report.merge_calls:>7} {report.shared_hits:>7}")
+    if not ok:
+        return 1
+    print("OK: one merge per distinct cell subset; "
+          "batched == one-at-a-time")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

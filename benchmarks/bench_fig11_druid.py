@@ -41,7 +41,7 @@ def test_fig11_druid_quantile_query(benchmark, milan_data):
         rows = []
         times = {}
         for aggregator in AGGREGATORS:
-            result = engine.query(aggregator, phi=0.99)
+            result = engine.query(aggregator, q=0.99)
             rows.append([aggregator, result.cells_scanned,
                          result.merge_seconds, result.finalize_seconds,
                          result.total_seconds, result.value])

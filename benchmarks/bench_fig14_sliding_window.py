@@ -41,7 +41,7 @@ def test_fig14_sliding_window(benchmark):
     def experiment():
         panes = build_panes(values, PANE_SIZE, k=10)
         turnstile = TurnstileWindowProcessor(panes, window_panes=WINDOW_PANES)
-        turnstile_result = turnstile.query(threshold=threshold, phi=0.99)
+        turnstile_result = turnstile.query(threshold=threshold, q=0.99)
         pane_summaries = [
             Merge12Summary.from_data(values[i * PANE_SIZE:(i + 1) * PANE_SIZE],
                                      k=32, seed=0)

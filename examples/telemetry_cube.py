@@ -47,7 +47,7 @@ def main() -> None:
           f"in {time.perf_counter() - start:.2f}s")
 
     # Global p99 across every cell.
-    result = engine.query("momentsSketch@10", phi=0.99)
+    result = engine.query("momentsSketch@10", q=0.99)
     print(f"\nglobal p99: {result.value:.1f}  "
           f"({result.cells_scanned} cells merged in "
           f"{result.merge_seconds * 1e3:.1f} ms, estimate in "
@@ -56,19 +56,19 @@ def main() -> None:
     # Drill-down: p99 per app version (a groupBy over merged sketches).
     print("\np99 by version:")
     for version, value in sorted(engine.group_by(
-            "momentsSketch@10", "version", phi=0.99).items()):
+            "momentsSketch@10", "version", q=0.99).items()):
         print(f"  {version}: {value:10.1f}")
 
     # Slice: where did v8 regress?  p99 by OS, filtered to v8.
     print("\np99 by OS for version v8:")
     for os_name, value in sorted(engine.group_by(
-            "momentsSketch@10", "os", phi=0.99,
+            "momentsSketch@10", "os", q=0.99,
             filters={"version": "v8"}).items()):
         marker = "  <-- regression" if value > 500 else ""
         print(f"  {os_name}: {value:10.1f}{marker}")
 
     # Time-windowed query: last 24 hours only.
-    last_day = engine.query("momentsSketch@10", phi=0.99,
+    last_day = engine.query("momentsSketch@10", q=0.99,
                             interval=(2 * 24 * 3600.0, 3 * 24 * 3600.0))
     print(f"\np99 over the last day: {last_day.value:.1f} "
           f"({last_day.cells_scanned} cells)")

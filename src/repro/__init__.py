@@ -7,7 +7,16 @@ from .core import (
 )
 from .store import PackedSketchStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name: str):
+    # Lazy import: `repro.api` pulls in every engine layer, which plain
+    # `import repro` users (sketch-only pipelines) should not pay for.
+    if name == "api":
+        import importlib
+        return importlib.import_module(".api", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "MomentsSketch", "merge_all", "QuantileEstimator",

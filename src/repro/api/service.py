@@ -1,0 +1,356 @@
+"""QueryService: plan and execute declarative specs over registered backends.
+
+The service owns the engine-independent half of a query: estimator
+solves, bound computation, threshold cascades, top-n pruning, and the
+batched executor.  :meth:`QueryService.execute_batch` groups specs by
+their plan's ``scan_key`` so N specs over the same cell subset cost one
+merge (and, for moments summaries, one estimator solve — the summary's
+cached estimator serves every fused quantile), which is the Eq. 2
+``t_merge * n_merge`` term paid once instead of N times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.bounds import markov_bound, quantile_error_bound, rtt_bound
+from ..core.cascade import ThresholdCascade
+from ..core.errors import QueryError
+from ..core.quantile import QuantileEstimator
+from ..core.sketch import MomentsSketch
+from ..core.solver import SolverConfig
+from ..druid.engine import _quantile_bracket
+from ..summaries.moments_summary import MomentsSummary
+from .backends import (Backend, GroupRollupResult, RollupResult, as_backend,
+                       sketch_of)
+from .planner import QueryPlan, plan
+from .spec import QueryResponse, QuerySpec, QueryTimings, qkey
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Scan-sharing profile of the last :meth:`QueryService.execute_batch`."""
+
+    specs: int
+    distinct_scans: int
+    shared_hits: int
+    merge_calls: int
+
+
+def _moments_payload(sketch: MomentsSketch) -> dict:
+    payload = {"count": sketch.count, "min": sketch.min, "max": sketch.max,
+               "power_sums": [float(v) for v in sketch.power_sums]}
+    if sketch.track_log:
+        payload["log_sums"] = [float(v) for v in sketch.log_sums]
+        payload["log_valid"] = bool(sketch.log_valid)
+    return payload
+
+
+class QueryService:
+    """Facade executing :class:`QuerySpec` objects against named backends.
+
+    Backends are registered either at construction (raw engine objects
+    are adapted automatically via :func:`~repro.api.backends.as_backend`)
+    or later with :meth:`register`.  The first registered backend is the
+    default; ``spec.backend`` selects another by name.
+    """
+
+    def __init__(self, *args, config: SolverConfig | None = None, **named):
+        self.config = config or SolverConfig()
+        self._backends: dict[str, Backend] = {}
+        self._default: str | None = None
+        self.last_batch_report: BatchReport | None = None
+        #: The most recent roll-up (summary + profile), for in-process
+        #: callers that need the merged aggregate itself (workload runner).
+        self.last_rollup: RollupResult | None = None
+        for obj in args:
+            backend = as_backend(obj)
+            self.register(backend.name, backend)
+        for name, obj in named.items():
+            self.register(name, obj)
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, backend_or_engine) -> "QueryService":
+        backend = as_backend(backend_or_engine)
+        self._backends[name] = backend
+        if self._default is None:
+            self._default = name
+        return self
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        return tuple(self._backends)
+
+    def _resolve(self, spec: QuerySpec) -> tuple[str, Backend]:
+        name = spec.backend or self._default
+        if name is None:
+            raise QueryError("no backends registered")
+        try:
+            return name, self._backends[name]
+        except KeyError:
+            raise QueryError(f"unknown backend {name!r}; "
+                             f"registered: {sorted(self._backends)}") from None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(spec) -> QuerySpec:
+        if isinstance(spec, QuerySpec):
+            return spec
+        if isinstance(spec, Mapping):
+            return QuerySpec.from_dict(spec)
+        if isinstance(spec, str):
+            return QuerySpec.from_json(spec)
+        raise QueryError(f"cannot interpret {type(spec).__name__} as a QuerySpec")
+
+    def execute(self, spec, backend: str | None = None) -> QueryResponse:
+        """Plan and run one spec; see :meth:`execute_batch` for many."""
+        spec = self._coerce(spec)
+        if backend is not None:
+            spec = spec.with_backend(backend)
+        return self.execute_batch([spec])[0]
+
+    def execute_batch(self, specs: Iterable) -> list[QueryResponse]:
+        """Execute many specs, sharing one merge per distinct cell subset.
+
+        Specs whose plans carry the same ``scan_key`` (same backend,
+        measure, filters, interval, grouping) reuse the first spec's
+        merged summary; because moments summaries cache their solved
+        estimator, fused multi-quantile batches also share one
+        max-entropy solve.  ``last_batch_report`` records the sharing.
+        """
+        specs = [self._coerce(spec) for spec in specs]
+        responses: list[QueryResponse] = []
+        rollups: dict[tuple, RollupResult] = {}
+        group_rollups: dict[tuple, GroupRollupResult] = {}
+        merge_calls = 0
+        shared_hits = 0
+        for spec in specs:
+            name, backend = self._resolve(spec)
+            start = time.perf_counter()
+            the_plan = plan(spec, backend, backend_name=name)
+            plan_seconds = time.perf_counter() - start
+            if the_plan.mode == "windowed":
+                responses.append(self._run_windowed(spec, the_plan, backend,
+                                                    plan_seconds))
+                continue
+            cache = group_rollups if the_plan.mode == "group" else rollups
+            shared = the_plan.scan_key in cache
+            if shared:
+                shared_hits += 1
+                result = cache[the_plan.scan_key]
+            else:
+                result = (backend.group_rollup(spec)
+                          if the_plan.mode == "group"
+                          else backend.rollup(spec))
+                cache[the_plan.scan_key] = result
+                merge_calls += result.merge_calls
+            timings_base = QueryTimings(
+                planner_seconds=plan_seconds + result.planner_seconds,
+                merge_seconds=result.merge_seconds)
+            if the_plan.mode == "group":
+                responses.append(self._finish_group(spec, the_plan, result,
+                                                    timings_base, shared))
+            else:
+                self.last_rollup = result
+                responses.append(self._finish_rollup(spec, the_plan, result,
+                                                     timings_base, shared))
+        self.last_batch_report = BatchReport(
+            specs=len(specs),
+            distinct_scans=len(rollups) + len(group_rollups),
+            shared_hits=shared_hits, merge_calls=merge_calls)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Roll-up kinds
+    # ------------------------------------------------------------------
+
+    def _estimates(self, spec: QuerySpec, summary) -> np.ndarray:
+        qs = np.asarray(spec.quantiles, dtype=float)
+        if spec.estimator == "maxent":
+            sketch = sketch_of(summary)
+            if sketch is None:
+                raise QueryError(
+                    "estimator='maxent' needs a moments-backed summary")
+            estimator = QuantileEstimator.fit(sketch, config=self.config)
+            return np.asarray(estimator.quantiles(qs), dtype=float)
+        return np.asarray(summary.quantiles(qs), dtype=float)
+
+    def _finish_rollup(self, spec: QuerySpec, the_plan: QueryPlan,
+                       result: RollupResult, timings: QueryTimings,
+                       shared: bool) -> QueryResponse:
+        summary = result.summary
+        sketch = result.sketch
+        count = getattr(summary, "count", None)
+        moments = (_moments_payload(sketch)
+                   if spec.report_moments and sketch is not None else None)
+        start = time.perf_counter()
+        if spec.kind == "quantile":
+            estimates_arr = self._estimates(spec, summary)
+            estimates = {qkey(q): float(est)
+                         for q, est in zip(spec.quantiles, estimates_arr)}
+            bounds = None
+            if spec.report_bounds and sketch is not None:
+                bounds = {qkey(q): quantile_error_bound(sketch, float(est), q)
+                          for q, est in zip(spec.quantiles, estimates_arr)}
+            value = float(estimates_arr[0])
+            groups = None
+        elif spec.kind == "cdf":
+            if sketch is None:
+                raise QueryError("cdf queries need a moments-backed summary")
+            estimates = {}
+            bounds = {} if spec.report_bounds else None
+            for t in spec.thresholds:
+                rtt = rtt_bound(sketch, t)
+                lo, hi = rtt.fraction()
+                estimates[qkey(t)] = 0.5 * (lo + hi)
+                if bounds is not None:
+                    markov = markov_bound(sketch, t)
+                    bounds[qkey(t)] = {
+                        "rtt": {"lower": rtt.lower, "upper": rtt.upper},
+                        "markov": {"lower": markov.lower,
+                                   "upper": markov.upper}}
+            value = estimates[qkey(spec.thresholds[0])]
+            groups = None
+        else:  # threshold_count without a grouping dimension
+            groups_map = {"*": summary}
+            estimates, groups, value = self._threshold_outcomes(spec, groups_map)
+            bounds = None
+        solve = time.perf_counter() - start
+        return QueryResponse(
+            kind=spec.kind, backend=the_plan.backend_name,
+            route=result.route, value=value, estimates=estimates,
+            groups=groups, bounds=bounds, moments=moments,
+            count=float(count) if count is not None else None,
+            cells_scanned=result.cells_scanned, merges=result.merge_calls,
+            shared_scan=shared,
+            timings=QueryTimings(planner_seconds=timings.planner_seconds,
+                                 merge_seconds=timings.merge_seconds,
+                                 solve_seconds=solve))
+
+    def _threshold_outcomes(self, spec: QuerySpec, groups_map: Mapping
+                            ) -> tuple[dict, dict, float]:
+        """Cascade every group against every threshold (Eq. 3 counting)."""
+        cascade = ThresholdCascade(config=self.config,
+                                   enabled_stages=spec.cascade_stages)
+        q = spec.q
+        groups_payload: dict = {}
+        counts = {qkey(t): 0 for t in spec.thresholds}
+        for value, summary in groups_map.items():
+            sketch = sketch_of(summary)
+            outcomes = {}
+            for t in spec.thresholds:
+                if sketch is not None:
+                    outcome = cascade.evaluate(sketch, t, q)
+                    exceeds, stage = outcome.result, outcome.stage
+                else:
+                    exceeds, stage = bool(summary.quantile(q) > t), "estimate"
+                outcomes[qkey(t)] = {"exceeds": exceeds, "stage": stage}
+                if exceeds:
+                    counts[qkey(t)] += 1
+            groups_payload[value] = outcomes
+        estimates = {key: float(n) for key, n in counts.items()}
+        return estimates, groups_payload, estimates[qkey(spec.thresholds[0])]
+
+    # ------------------------------------------------------------------
+    # Group kinds
+    # ------------------------------------------------------------------
+
+    def _finish_group(self, spec: QuerySpec, the_plan: QueryPlan,
+                      result: GroupRollupResult, timings: QueryTimings,
+                      shared: bool) -> QueryResponse:
+        groups_map = result.groups
+        if not groups_map and spec.kind == "top_n":
+            raise QueryError("query matched no cells")
+        start = time.perf_counter()
+        top = None
+        bounds = None
+        if spec.kind == "group_by":
+            value = None
+            estimates = None
+            groups = {
+                group: {qkey(q): float(est) for q, est in
+                        zip(spec.quantiles,
+                            np.atleast_1d(self._estimates(spec, summary)))}
+                for group, summary in groups_map.items()}
+            count = float(sum(getattr(s, "count", 0.0) or 0.0
+                              for s in groups_map.values()))
+        elif spec.kind == "top_n":
+            top = self._top_n(spec, groups_map)
+            value = float(top[0][1]) if top else None
+            estimates = None
+            groups = None
+            count = float(sum(getattr(s, "count", 0.0) or 0.0
+                              for s in groups_map.values()))
+        else:  # threshold_count over groups
+            estimates, groups, value = self._threshold_outcomes(spec, groups_map)
+            count = float(sum(getattr(s, "count", 0.0) or 0.0
+                              for s in groups_map.values()))
+        solve = time.perf_counter() - start
+        return QueryResponse(
+            kind=spec.kind, backend=the_plan.backend_name, route=result.route,
+            value=value, estimates=estimates, groups=groups, top=top,
+            bounds=bounds, count=count, cells_scanned=result.cells_scanned,
+            merges=result.merge_calls, shared_scan=shared,
+            timings=QueryTimings(planner_seconds=timings.planner_seconds,
+                                 merge_seconds=timings.merge_seconds,
+                                 solve_seconds=solve))
+
+    def _top_n(self, spec: QuerySpec, groups_map: Mapping) -> list:
+        """Bounds-pruned top-n ranking (Section 5's principle on ranking).
+
+        Identical plan to the legacy ``top_n_by_quantile``: when every
+        group is moments-backed and there are more groups than ``n``,
+        RTT rank bounds bracket each group's quantile and groups whose
+        best case cannot beat the n-th worst case are discarded before
+        any max-entropy solve.
+        """
+        n = spec.n or 1
+        q = spec.q
+        sketches = {value: summary.sketch
+                    for value, summary in groups_map.items()
+                    if isinstance(summary, MomentsSummary)}
+        if len(sketches) == len(groups_map) and len(groups_map) > n:
+            brackets = {value: _quantile_bracket(sketch, q, rtt_bound)
+                        for value, sketch in sketches.items()}
+            floors = sorted((b[0] for b in brackets.values()), reverse=True)
+            cutoff = floors[n - 1]
+            candidates = [value for value, (lo, hi) in brackets.items()
+                          if hi >= cutoff]
+        else:
+            candidates = list(groups_map)
+        scored = [(value, float(groups_map[value].quantile(q)))
+                  for value in candidates]
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored[:n]
+
+    # ------------------------------------------------------------------
+    # Windowed kind
+    # ------------------------------------------------------------------
+
+    def _run_windowed(self, spec: QuerySpec, the_plan: QueryPlan,
+                      backend: Backend, plan_seconds: float) -> QueryResponse:
+        result = backend.windowed(spec)
+        return QueryResponse(
+            kind=spec.kind, backend=the_plan.backend_name, route=result.route,
+            value=float(len(result.alerts)), alerts=result.alerts,
+            count=result.count, cells_scanned=result.panes,
+            merges=result.windows_checked,
+            timings=QueryTimings(planner_seconds=plan_seconds,
+                                 merge_seconds=result.merge_seconds,
+                                 solve_seconds=result.solve_seconds))
+
+
+def execute(spec, backend_obj, **adapter_kwargs) -> QueryResponse:
+    """One-shot convenience: adapt ``backend_obj`` and execute ``spec``."""
+    backend = as_backend(backend_obj, **adapter_kwargs)
+    return QueryService().register(backend.name, backend).execute(spec)

@@ -5,11 +5,21 @@ jobs around an analytics engine:
 
     python -m repro sketch build data.csv -o shard.msk --k 10
     python -m repro sketch merge shard1.msk shard2.msk -o total.msk
-    python -m repro sketch query total.msk --phi 0.5 0.9 0.99
-    python -m repro sketch threshold total.msk --t 100 --phi 0.99
+    python -m repro sketch query total.msk --q 0.5 0.9 0.99
+    python -m repro sketch query total.msk --spec '{"kind": "quantile", "quantiles": [0.5, 0.99], "report_bounds": true}'
+    python -m repro sketch threshold total.msk --t 100 --q 0.99
+    python -m repro sketch bounds total.msk --t 100
     python -m repro sketch info total.msk
     python -m repro datasets list
     python -m repro datasets stats milan --rows 100000
+
+The ``query``/``threshold``/``bounds`` commands execute through the
+unified query API (:mod:`repro.api`): pass ``--spec`` with a
+:class:`~repro.api.QuerySpec` JSON document to run any spec against the
+sketch and emit the full :class:`~repro.api.QueryResponse` JSON;
+without ``--spec`` the flag-based invocations build the equivalent spec
+and emit the historical compact output.  ``--phi`` is a deprecated
+alias of ``--q``.
 
 Input files are one float per line (CSV with a single column); sketch
 files use the library's binary serialization.
@@ -20,20 +30,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-from .core import (
-    ConvergenceError,
-    MomentsSketch,
-    QuantileEstimator,
-    merge_all,
-    safe_estimate_quantiles,
-)
-from .core.bounds import markov_bound, rtt_bound
-from .core.cascade import ThresholdCascade
+from .api import QueryService, QuerySpec, SummariesBackend, qkey
+from .core import (ConvergenceError, MomentsSketch, QuantileEstimator,
+                   QueryError, merge_all)
 from .datasets import available, load, spec, summary_statistics
+from .summaries.moments_summary import MomentsSummary
 
 
 def _read_values(path: str) -> np.ndarray:
@@ -49,6 +55,28 @@ def _read_values(path: str) -> np.ndarray:
 
 def _load_sketch(path: str) -> MomentsSketch:
     return MomentsSketch.from_bytes(Path(path).read_bytes())
+
+
+def _sketch_service(sketch: MomentsSketch) -> QueryService:
+    """A single-sketch query service (the CLI's one-cell backend)."""
+    summary = MomentsSummary(k=sketch.k, track_log=sketch.track_log)
+    summary.sketch = sketch
+    return QueryService(sketch=SummariesBackend([summary]))
+
+
+def _quantile_args(args: argparse.Namespace, default: list[float]) -> list[float]:
+    """Resolve --q / deprecated --phi into quantile fractions."""
+    q = getattr(args, "q", None)
+    phi = getattr(args, "phi", None)
+    if phi is not None:
+        if q:
+            raise QueryError("pass either --q or the deprecated --phi, not both")
+        warnings.warn("the '--phi' flag is deprecated; use '--q'",
+                      DeprecationWarning, stacklevel=2)
+        return [float(v) for v in (phi if isinstance(phi, list) else [phi])]
+    if q:
+        return [float(v) for v in q]
+    return list(default)
 
 
 # ----------------------------------------------------------------------
@@ -75,19 +103,30 @@ def cmd_merge(args: argparse.Namespace) -> dict:
 
 def cmd_query(args: argparse.Namespace) -> dict:
     sketch = _load_sketch(args.sketch)
-    phis = np.asarray(args.phi, dtype=float)
-    estimates = safe_estimate_quantiles(sketch, phis)
+    service = _sketch_service(sketch)
+    if args.spec:
+        return service.execute(QuerySpec.from_json(args.spec)).to_dict()
+    qs = _quantile_args(args, default=[0.5, 0.99])
+    response = service.execute(QuerySpec(kind="quantile", quantiles=tuple(qs)))
     return {"count": sketch.count,
-            "quantiles": {f"{phi:g}": float(q)
-                          for phi, q in zip(phis, estimates)}}
+            "quantiles": {qkey(q): float(response.estimates[qkey(q)])
+                          for q in qs}}
 
 
 def cmd_threshold(args: argparse.Namespace) -> dict:
     sketch = _load_sketch(args.sketch)
-    cascade = ThresholdCascade()
-    outcome = cascade.evaluate(sketch, args.t, args.phi)
-    return {"phi": args.phi, "threshold": args.t,
-            "exceeds": outcome.result, "decided_by": outcome.stage}
+    service = _sketch_service(sketch)
+    if args.spec:
+        return service.execute(QuerySpec.from_json(args.spec)).to_dict()
+    if args.t is None:
+        raise QueryError("--t is required without --spec")
+    q = _quantile_args(args, default=[0.99])[0]
+    response = service.execute(QuerySpec(kind="threshold_count",
+                                         thresholds=(args.t,),
+                                         quantiles=(q,)))
+    outcome = response.groups["*"][qkey(args.t)]
+    return {"q": q, "threshold": args.t,
+            "exceeds": outcome["exceeds"], "decided_by": outcome["stage"]}
 
 
 def cmd_info(args: argparse.Namespace) -> dict:
@@ -108,11 +147,16 @@ def cmd_info(args: argparse.Namespace) -> dict:
 
 def cmd_bounds(args: argparse.Namespace) -> dict:
     sketch = _load_sketch(args.sketch)
-    markov = markov_bound(sketch, args.t)
-    rtt = rtt_bound(sketch, args.t)
+    service = _sketch_service(sketch)
+    if args.spec:
+        return service.execute(QuerySpec.from_json(args.spec)).to_dict()
+    if args.t is None:
+        raise QueryError("--t is required without --spec")
+    response = service.execute(QuerySpec(kind="cdf", thresholds=(args.t,),
+                                         report_bounds=True))
+    bounds = response.bounds[qkey(args.t)]
     return {"t": args.t, "count": sketch.count,
-            "markov": {"lower": markov.lower, "upper": markov.upper},
-            "rtt": {"lower": rtt.lower, "upper": rtt.upper}}
+            "markov": bounds["markov"], "rtt": bounds["rtt"]}
 
 
 def cmd_datasets_list(args: argparse.Namespace) -> dict:
@@ -164,14 +208,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sketch_sub.add_parser("query", help="estimate quantiles")
     query.add_argument("sketch")
-    query.add_argument("--phi", type=float, nargs="+", default=[0.5, 0.99])
+    query.add_argument("--q", type=float, nargs="+", default=None,
+                       help="target quantile fractions (default 0.5 0.99)")
+    query.add_argument("--phi", type=float, nargs="+", default=None,
+                       help="deprecated alias of --q")
+    query.add_argument("--spec", default=None,
+                       help="QuerySpec JSON; emits the full QueryResponse")
     query.set_defaults(handler=cmd_query)
 
     threshold = sketch_sub.add_parser("threshold",
                                       help="cascade threshold predicate")
     threshold.add_argument("sketch")
-    threshold.add_argument("--t", type=float, required=True)
-    threshold.add_argument("--phi", type=float, default=0.99)
+    threshold.add_argument("--t", type=float, default=None,
+                           help="threshold (required without --spec)")
+    threshold.add_argument("--q", type=float, nargs="+", default=None,
+                           help="quantile fraction (default 0.99)")
+    threshold.add_argument("--phi", type=float, default=None,
+                           help="deprecated alias of --q")
+    threshold.add_argument("--spec", default=None,
+                           help="QuerySpec JSON; emits the full QueryResponse")
     threshold.set_defaults(handler=cmd_threshold)
 
     info = sketch_sub.add_parser("info", help="inspect a sketch file")
@@ -180,7 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     bounds = sketch_sub.add_parser("bounds", help="rank bounds at a point")
     bounds.add_argument("sketch")
-    bounds.add_argument("--t", type=float, required=True)
+    bounds.add_argument("--t", type=float, default=None,
+                        help="threshold (required without --spec)")
+    bounds.add_argument("--spec", default=None,
+                        help="QuerySpec JSON; emits the full QueryResponse")
     bounds.set_defaults(handler=cmd_bounds)
 
     datasets = subcommands.add_parser("datasets",

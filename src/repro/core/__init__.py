@@ -1,6 +1,7 @@
 """Core moments-sketch package: the paper's primary contribution."""
 
 from .sketch import MomentsSketch, merge_all, DEFAULT_ORDER
+from .params import normalize_q
 from .quantile import QuantileEstimator, estimate_quantile, estimate_quantiles, safe_estimate_quantiles
 from .solver import SolverConfig
 from .errors import (
@@ -10,7 +11,7 @@ from .errors import (
 )
 
 __all__ = [
-    "MomentsSketch", "merge_all", "DEFAULT_ORDER",
+    "MomentsSketch", "merge_all", "DEFAULT_ORDER", "normalize_q",
     "QuantileEstimator", "estimate_quantile", "estimate_quantiles",
     "safe_estimate_quantiles", "SolverConfig",
     "ReproError", "SketchError", "IncompatibleSketchError", "EmptySketchError",

@@ -32,6 +32,7 @@ reduction is a strict left fold in cell insertion order).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
@@ -39,6 +40,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..core.errors import QueryError
+from ..core.params import normalize_q
 from ..core.sketch import MomentsSketch
 from ..store import PackedSketchStore
 from ..summaries.base import QuantileSummary
@@ -257,40 +259,85 @@ class DataCube:
         ``merge`` per matching cell; on the packed backend a single
         vectorized reduction over the matching store rows.
         """
+        return self.rollup_profiled(filters)[0]
+
+    def rollup_profiled(self, filters: Mapping[str, object] | None = None
+                        ) -> tuple[QuantileSummary, dict]:
+        """:meth:`rollup` plus its execution profile, for the unified API.
+
+        Returns ``(aggregate, profile)`` where ``profile`` carries
+        ``cells_scanned``, ``merge_calls`` (vectorized reductions on the
+        packed backend, pairwise merges on dict), ``planner_seconds``
+        (cell matching), ``merge_seconds``, and ``route``.  Updates
+        ``last_merge_count`` exactly like :meth:`rollup`.
+        """
+        start = time.perf_counter()
         if self._packed:
             rows = self._matching_rows(filters)
+            planner = time.perf_counter() - start
             if rows.size == 0:
                 raise QueryError(f"no cells match filter {dict(filters or {})}")
+            start = time.perf_counter()
             merged = self._store.batch_merge(rows)
+            merge_seconds = time.perf_counter() - start
             self.last_merge_count = int(rows.size)
-            return self._wrap(merged)
-        aggregate: QuantileSummary | None = None
-        merges = 0
-        for _, summary in self.matching_cells(filters):
-            if aggregate is None:
-                aggregate = summary.copy()
-            else:
-                aggregate.merge(summary)
-            merges += 1
-        if aggregate is None:
+            return self._wrap(merged), {
+                "cells_scanned": int(rows.size), "merge_calls": 1,
+                "planner_seconds": planner, "merge_seconds": merge_seconds,
+                "route": "packed"}
+        matching = [summary for _, summary in self.matching_cells(filters)]
+        planner = time.perf_counter() - start
+        if not matching:
             raise QueryError(f"no cells match filter {dict(filters or {})}")
-        self.last_merge_count = merges
-        return aggregate
+        start = time.perf_counter()
+        aggregate = matching[0].copy()
+        for summary in matching[1:]:
+            aggregate.merge(summary)
+        merge_seconds = time.perf_counter() - start
+        self.last_merge_count = len(matching)
+        return aggregate, {
+            "cells_scanned": len(matching),
+            "merge_calls": len(matching) - 1, "planner_seconds": planner,
+            "merge_seconds": merge_seconds, "route": "loop"}
 
-    def quantile(self, phi: float,
-                 filters: Mapping[str, object] | None = None) -> float:
-        """Roll up matching cells and estimate a quantile (Eq. 2's plan)."""
-        return self.rollup(filters).quantile(phi)
+    def quantile(self, q: float | None = None,
+                 filters: Mapping[str, object] | None = None, *,
+                 phi: float | None = None) -> float:
+        """Roll up matching cells and estimate a quantile (Eq. 2's plan).
+
+        Shim over the unified query API: executes a ``quantile``
+        :class:`~repro.api.QuerySpec` through
+        :class:`~repro.api.QueryService`, so the packed/loop routing and
+        timing accounting are shared with every other entry point.  The
+        ``phi=`` keyword is deprecated in favor of ``q``.
+        """
+        from ..api import QuerySpec, QueryService
+        q = normalize_q(q, phi, default=0.5)
+        spec = QuerySpec(kind="quantile", quantiles=(q,),
+                         filters=filters or {})
+        return QueryService(cube=self).execute(spec).value
 
     def group_by(self, dimension: str,
                  filters: Mapping[str, object] | None = None
                  ) -> dict[object, QuantileSummary]:
         """Merged aggregate per distinct value of ``dimension``.
 
-        The building block for threshold queries (Eq. 3): each group's
-        summary can then be tested against a predicate.  The packed
-        backend performs one vectorized reduction per group.
+        Shim over the unified API's group scan (the building block for
+        Eq. 3 threshold queries): delegates to
+        :meth:`~repro.api.backends.CubeBackend.group_rollup` and returns
+        the per-group summaries.
         """
+        from ..api import CubeBackend, QuerySpec
+        spec = QuerySpec(kind="group_by", group_dimension=dimension,
+                         filters=filters or {})
+        return CubeBackend(self).group_rollup(spec).groups
+
+    def _group_summaries(self, dimension: str,
+                         filters: Mapping[str, object] | None = None
+                         ) -> dict[object, QuantileSummary]:
+        """Backend primitive behind :meth:`group_by`: one merged summary
+        per distinct value of ``dimension`` (the packed backend performs
+        one vectorized reduction per group)."""
         position = self.schema.index_of(dimension)
         if self._packed:
             rows: list[int] = []

@@ -33,7 +33,6 @@ from the object layout at the last-ulp level.  Pass
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -41,6 +40,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.errors import QueryError
+from ..core.params import normalize_q
 from ..core.sketch import MomentsSketch
 from ..store import PackedSketchStore
 from .aggregators import (AggregatorFactory, AggregatorState,
@@ -71,16 +71,30 @@ class Segment:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Finalized value plus the execution profile the benchmarks report."""
+    """Finalized value plus the execution profile the benchmarks report.
+
+    All three phase timings are populated identically on the packed and
+    loop paths (both route through the shared
+    :class:`~repro.api.backends.DruidBackend` adapter):
+    ``planner_seconds`` covers the segment/cell scan that locates
+    matching state, ``merge_seconds`` the merge fold, and
+    ``finalize_seconds`` (alias ``solve_seconds``) the estimator solve.
+    """
 
     value: float
     cells_scanned: int
     merge_seconds: float
     finalize_seconds: float
+    planner_seconds: float = 0.0
+
+    @property
+    def solve_seconds(self) -> float:
+        """Canonical name for the estimation phase (see repro.api)."""
+        return self.finalize_seconds
 
     @property
     def total_seconds(self) -> float:
-        return self.merge_seconds + self.finalize_seconds
+        return self.planner_seconds + self.merge_seconds + self.finalize_seconds
 
 
 class DruidEngine:
@@ -235,44 +249,31 @@ class DruidEngine:
         state.summary.sketch = sketch
         return state
 
-    def query(self, aggregator: str, phi: float = 0.5,
+    def query(self, aggregator: str, q: float | None = None,
               filters: Mapping[str, object] | None = None,
-              interval: tuple[float, float] | None = None) -> QueryResult:
+              interval: tuple[float, float] | None = None, *,
+              phi: float | None = None) -> QueryResult:
         """Scan matching cells, merge states, finalize (the Eq. 2 plan).
 
-        ``phi`` reaches the aggregator's ``finalize`` (quantile aggregators
-        use it; ``sum`` ignores it).  Packed moments aggregators merge each
-        segment's matching rows with one vectorized reduction and fold the
-        per-segment partials; other aggregators merge object-by-object,
-        sharded across the processing thread pool as Druid's historical
-        nodes do.
+        Thin shim over the unified query API: builds a ``quantile``
+        :class:`~repro.api.QuerySpec` and executes it through
+        :class:`~repro.api.QueryService`, so the packed vectorized path,
+        the loop path, and all timing fields are exactly the ones every
+        other entry point gets.  ``q`` reaches the aggregator's
+        ``finalize`` (quantile aggregators use it; ``sum`` ignores it);
+        the ``phi=`` keyword is deprecated.
         """
-        if aggregator in self._packed_names:
-            refs = self._matching_packed_rows(aggregator, filters, interval)
-            scanned = sum(rows.size for _, rows in refs)
-            if scanned == 0:
-                raise QueryError("query matched no cells")
-            start = time.perf_counter()
-            partials = [store.batch_merge(rows) for store, rows in refs]
-            sketch = partials[0]
-            for partial in partials[1:]:
-                sketch.merge(partial)
-            merged: AggregatorState = self._wrap_packed(aggregator, sketch)
-            merge_seconds = time.perf_counter() - start
-        else:
-            states = self._matching_states(aggregator, filters, interval)
-            if not states:
-                raise QueryError("query matched no cells")
-            scanned = len(states)
-            start = time.perf_counter()
-            merged = self._merge_states(states)
-            merge_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        value = merged.finalize(phi=phi)
-        finalize_seconds = time.perf_counter() - start
-        return QueryResult(value=value, cells_scanned=scanned,
-                           merge_seconds=merge_seconds,
-                           finalize_seconds=finalize_seconds)
+        from ..api import QuerySpec, QueryService
+        q = normalize_q(q, phi, default=0.5)
+        spec = QuerySpec(kind="quantile", quantiles=(q,), measure=aggregator,
+                         filters=filters or {}, interval=interval)
+        response = QueryService(druid=self).execute(spec)
+        timings = response.timings
+        return QueryResult(value=response.value,
+                           cells_scanned=response.cells_scanned,
+                           merge_seconds=timings.merge_seconds,
+                           finalize_seconds=timings.solve_seconds,
+                           planner_seconds=timings.planner_seconds)
 
     def _merge_states(self, states: list[AggregatorState]) -> AggregatorState:
         def fold(shard: list[AggregatorState]) -> AggregatorState:
@@ -342,63 +343,45 @@ class DruidEngine:
                     groups[value] = cell[aggregator].copy()
         return groups
 
-    def group_by(self, aggregator: str, dimension: str, phi: float = 0.5,
-                 filters: Mapping[str, object] | None = None
-                 ) -> dict[object, float]:
-        """Per-dimension-value finalized results (Druid groupBy query)."""
-        groups = self.group_states(aggregator, dimension, filters)
-        return {value: state.finalize(phi=phi) for value, state in groups.items()}
+    def group_by(self, aggregator: str, dimension: str,
+                 q: float | None = None,
+                 filters: Mapping[str, object] | None = None, *,
+                 phi: float | None = None) -> dict[object, float]:
+        """Per-dimension-value finalized results (Druid groupBy query).
+
+        Shim over the unified API's ``group_by`` kind; the ``phi=``
+        keyword is deprecated in favor of ``q``.
+        """
+        from ..api import QuerySpec, QueryService, qkey
+        q = normalize_q(q, phi, default=0.5)
+        spec = QuerySpec(kind="group_by", quantiles=(q,), measure=aggregator,
+                         group_dimension=dimension, filters=filters or {})
+        response = QueryService(druid=self).execute(spec)
+        key = qkey(q)
+        return {value: payload[key]
+                for value, payload in (response.groups or {}).items()}
 
 
 def top_n_by_quantile(engine: DruidEngine, aggregator: str, dimension: str,
-                      n: int, phi: float = 0.99,
-                      filters: Mapping[str, object] | None = None
-                      ) -> list[tuple[object, float]]:
-    """Druid-style topN: the n dimension values with the largest phi-quantile.
+                      n: int, q: float | None = None,
+                      filters: Mapping[str, object] | None = None, *,
+                      phi: float | None = None) -> list[tuple[object, float]]:
+    """Druid-style topN: the n dimension values with the largest q-quantile.
 
-    For moments-sketch aggregators the candidate set is pruned with RTT
-    rank bounds before any max-entropy solve: a group whose *best possible*
-    quantile (from its rank bounds) cannot beat the n-th group's *worst
-    possible* quantile is discarded without estimation — the same
-    bounds-before-estimates principle as the threshold cascade (Section 5),
-    applied to a ranking query.  Other aggregators estimate every group.
+    Shim over the unified API's ``top_n`` kind, which keeps the
+    bounds-before-estimates pruning (RTT rank-bound brackets discard
+    groups that cannot make the list before any max-entropy solve — see
+    :meth:`repro.api.QueryService._top_n`).  The ``phi=`` keyword is
+    deprecated in favor of ``q``.
 
     Returns (dimension value, quantile estimate) pairs, best first.
     """
-    from ..core.bounds import rtt_bound
-    from ..summaries.moments_summary import MomentsSummary
-
-    if n < 1:
-        raise QueryError(f"n must be positive, got {n}")
-    groups = engine.group_states(aggregator, dimension, filters)
-    if not groups:
-        raise QueryError("query matched no cells")
-
-    sketches = {
-        value: state.summary.sketch
-        for value, state in groups.items()
-        if hasattr(state, "summary") and isinstance(state.summary, MomentsSummary)
-    }
-    if len(sketches) == len(groups) and len(groups) > n:
-        # Bound-based pruning.  For each group, bracket its phi-quantile:
-        # invert the RTT rank bounds at the support edges via bisection on
-        # candidate thresholds drawn from the group's own range.
-        brackets = {}
-        for value, sketch in sketches.items():
-            lo, hi = _quantile_bracket(sketch, phi, rtt_bound)
-            brackets[value] = (lo, hi)
-        # n-th largest guaranteed-lower-bound; groups whose upper bound
-        # falls below it cannot make the list.
-        floors = sorted((b[0] for b in brackets.values()), reverse=True)
-        cutoff = floors[n - 1]
-        candidates = [value for value, (lo, hi) in brackets.items()
-                      if hi >= cutoff]
-    else:
-        candidates = list(groups)
-
-    scored = [(value, groups[value].finalize(phi=phi)) for value in candidates]
-    scored.sort(key=lambda pair: pair[1], reverse=True)
-    return scored[:n]
+    from ..api import QuerySpec, QueryService
+    q = normalize_q(q, phi, default=0.99)
+    spec = QuerySpec(kind="top_n", quantiles=(q,), measure=aggregator,
+                     group_dimension=dimension, n=n, filters=filters or {})
+    response = QueryService(druid=engine).execute(spec)
+    return [(value, estimate) for value, estimate in (response.top or [])]
 
 
 def _quantile_bracket(sketch, phi: float, bound_fn) -> tuple[float, float]:

@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.cascade import ThresholdCascade
+from ..core.params import normalize_q
 from ..core.sketch import MomentsSketch
 from ..core.solver import SolverConfig
 from ..store import PackedSketchStore
@@ -128,8 +129,13 @@ class TurnstileWindowProcessor:
         return self.store.batch_merge(
             np.arange(position, position + self.window_panes))
 
-    def query(self, threshold: float, phi: float = 0.99) -> WindowQueryResult:
-        """Find all windows with ``quantile(phi) > threshold``."""
+    def query(self, threshold: float, q: float | None = None, *,
+              phi: float | None = None) -> WindowQueryResult:
+        """Find all windows with ``quantile(q) > threshold``.
+
+        The ``phi=`` keyword is deprecated in favor of ``q``.
+        """
+        q = normalize_q(q, phi, default=0.99)
         alerts: list[WindowAlert] = []
         w = self.window_panes
         merge_seconds = 0.0
@@ -143,7 +149,7 @@ class TurnstileWindowProcessor:
         while True:
             in_window = self.panes[position:position + w]
             start = time.perf_counter()
-            outcome = self.cascade.evaluate(window, threshold, phi)
+            outcome = self.cascade.evaluate(window, threshold, q)
             estimation_seconds += time.perf_counter() - start
             if outcome.result:
                 alerts.append(WindowAlert(start_pane=in_window[0].index,
@@ -168,8 +174,13 @@ class TurnstileWindowProcessor:
 
 
 def remerge_windows(pane_summaries: Sequence[QuantileSummary], window_panes: int,
-                    threshold: float, phi: float = 0.99) -> WindowQueryResult:
-    """Baseline for non-subtractable summaries: re-merge every window."""
+                    threshold: float, q: float | None = None, *,
+                    phi: float | None = None) -> WindowQueryResult:
+    """Baseline for non-subtractable summaries: re-merge every window.
+
+    The ``phi=`` keyword is deprecated in favor of ``q``.
+    """
+    q = normalize_q(q, phi, default=0.99)
     if len(pane_summaries) < window_panes:
         raise ValueError("not enough panes for one window")
     alerts: list[WindowAlert] = []
@@ -182,7 +193,7 @@ def remerge_windows(pane_summaries: Sequence[QuantileSummary], window_panes: int
             window.merge(summary)
         merge_seconds += time.perf_counter() - start
         start = time.perf_counter()
-        estimate = window.quantile(phi)
+        estimate = window.quantile(q)
         estimation_seconds += time.perf_counter() - start
         if estimate > threshold:
             alerts.append(WindowAlert(start_pane=position,
@@ -195,9 +206,9 @@ def remerge_windows(pane_summaries: Sequence[QuantileSummary], window_panes: int
 
 
 def remerge_windows_packed(panes: Sequence[Pane], window_panes: int,
-                           threshold: float, phi: float = 0.99,
-                           config: SolverConfig | None = None
-                           ) -> WindowQueryResult:
+                           threshold: float, q: float | None = None,
+                           config: SolverConfig | None = None, *,
+                           phi: float | None = None) -> WindowQueryResult:
     """Re-merge strategy over a packed pane ring: one reduction per window.
 
     The same plan as :func:`remerge_windows` (re-merge all ``w`` panes at
@@ -205,7 +216,10 @@ def remerge_windows_packed(panes: Sequence[Pane], window_panes: int,
     with the pane ring packed columnar so each window's merge is a single
     ``batch_merge`` reduction.  Alerts match the loop-based re-merge
     exactly: the merged sketches are bit-for-bit identical.
+
+    The ``phi=`` keyword is deprecated in favor of ``q``.
     """
+    q = normalize_q(q, phi, default=0.99)
     if window_panes < 1:
         raise ValueError("window must span at least one pane")
     if len(panes) < window_panes:
@@ -224,7 +238,7 @@ def remerge_windows_packed(panes: Sequence[Pane], window_panes: int,
         summary = MomentsSummary(k=merged.k, track_log=merged.track_log,
                                  config=config)
         summary.sketch = merged
-        estimate = summary.quantile(phi)
+        estimate = summary.quantile(q)
         estimation_seconds += time.perf_counter() - start
         if estimate > threshold:
             alerts.append(WindowAlert(

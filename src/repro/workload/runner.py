@@ -18,6 +18,24 @@ from ..summaries.base import QuantileSummary
 from .cells import PHI_GRID, CellSet, PackedCellSet, quantile_errors
 
 
+def _api_query(backend, phis: np.ndarray):
+    """Run one fused multi-quantile spec; return (estimates, rollup, timings).
+
+    The shared execution path behind :func:`run_query` and
+    :func:`run_packed_query`: both delegate to the unified query API so
+    the measured merge/solve decomposition is exactly what
+    :class:`~repro.api.QueryService` reports for any other client.
+    """
+    from ..api import QuerySpec, QueryService, qkey
+
+    service = QueryService(cells=backend)
+    spec = QuerySpec(kind="quantile",
+                     quantiles=tuple(float(p) for p in np.asarray(phis)))
+    response = service.execute(spec)
+    estimates = np.asarray([response.estimates[qkey(p)] for p in phis])
+    return estimates, service.last_rollup, response.timings
+
+
 @dataclass(frozen=True)
 class QueryTiming:
     """Measured decomposition of one aggregation query."""
@@ -51,23 +69,17 @@ def run_query(cells: CellSet, phis: np.ndarray = PHI_GRID,
     if not summaries:
         raise ValueError("no cells to query")
 
-    start = time.perf_counter()
-    aggregate = summaries[0].copy()
-    for summary in summaries[1:]:
-        aggregate.merge(summary)
-    merge_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    estimates = aggregate.quantiles(phis)
-    estimate_seconds = time.perf_counter() - start
+    from ..api import SummariesBackend
+    estimates, rollup, timings = _api_query(SummariesBackend(summaries), phis)
+    aggregate = rollup.summary
 
     covered = cells.data[: len(summaries) * cells.cell_size]
     errors = quantile_errors(np.sort(covered), estimates, phis)
     return QueryTiming(
         summary_name=aggregate.name,
         num_merges=len(summaries) - 1,
-        merge_seconds=merge_seconds,
-        estimate_seconds=estimate_seconds,
+        merge_seconds=timings.merge_seconds,
+        estimate_seconds=timings.solve_seconds,
         mean_error=float(np.mean(errors)),
         size_bytes=aggregate.size_bytes(),
     )
@@ -87,22 +99,19 @@ def run_packed_query(cells: PackedCellSet, phis: np.ndarray = PHI_GRID,
     if n == 0:
         raise ValueError("no cells to query")
 
-    start = time.perf_counter()
-    merged = cells.store.batch_merge(np.arange(n))
-    merge_seconds = time.perf_counter() - start
-
-    aggregate = cells.wrap(merged)
-    start = time.perf_counter()
-    estimates = aggregate.quantiles(phis)
-    estimate_seconds = time.perf_counter() - start
+    from ..api import PackedStoreBackend
+    backend = PackedStoreBackend(cells.store, config=cells.config,
+                                 rows=np.arange(n))
+    estimates, rollup, timings = _api_query(backend, phis)
+    aggregate = rollup.summary
 
     covered = cells.data[: n * cells.cell_size]
     errors = quantile_errors(np.sort(covered), estimates, phis)
     return QueryTiming(
         summary_name=f"{aggregate.name} (packed)",
         num_merges=n - 1,
-        merge_seconds=merge_seconds,
-        estimate_seconds=estimate_seconds,
+        merge_seconds=timings.merge_seconds,
+        estimate_seconds=timings.solve_seconds,
         mean_error=float(np.mean(errors)),
         size_bytes=aggregate.size_bytes(),
     )

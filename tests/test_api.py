@@ -1,0 +1,467 @@
+"""Tests for the unified declarative query API (repro.api)."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (Backend, QueryResponse, QueryService, QuerySpec,
+                       SummariesBackend, WindowSpec, as_backend, execute, plan,
+                       qkey)
+from repro.core.errors import QueryError
+from repro.core.params import normalize_q
+from repro.datacube import CubeSchema, DataCube
+from repro.druid import DruidEngine, MomentsSketchAggregator, registry
+from repro.store import PackedSketchStore
+from repro.summaries.moments_summary import MomentsSummary
+from repro.window import build_panes, remerge_windows_packed
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    n = 20_000
+    values = rng.lognormal(1.0, 1.0, n)
+    country = rng.choice(["US", "CA", "MX"], n)
+    version = rng.integers(0, 8, n)
+    return values, country, version
+
+
+@pytest.fixture(scope="module")
+def cube(dataset):
+    values, country, version = dataset
+    cube = DataCube(CubeSchema(("country", "version")),
+                    lambda: MomentsSummary(k=10))
+    cube.ingest([country, version], values)
+    return cube
+
+
+@pytest.fixture(scope="module")
+def engine(dataset):
+    values, country, version = dataset
+    engine = DruidEngine(
+        dimensions=("country", "version"),
+        aggregators=registry(moment_orders=(10,), histogram_bins=(100,)),
+        granularity=3600.0, processing_threads=1)
+    timestamps = np.linspace(0, 24 * 3600, values.size, endpoint=False)
+    engine.ingest(timestamps, [country, version], values)
+    return engine
+
+
+class TestQuerySpec:
+    def test_requires_known_kind(self):
+        with pytest.raises(QueryError):
+            QuerySpec(kind="median")
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(QueryError):
+            QuerySpec(kind="quantile", quantiles=(1.5,))
+
+    def test_group_kinds_need_dimension(self):
+        with pytest.raises(QueryError):
+            QuerySpec(kind="group_by")
+        with pytest.raises(QueryError):
+            QuerySpec(kind="top_n", n=3)
+
+    def test_top_n_needs_positive_n(self):
+        with pytest.raises(QueryError):
+            QuerySpec(kind="top_n", group_dimension="d", n=0)
+
+    def test_threshold_kinds_need_thresholds(self):
+        with pytest.raises(QueryError):
+            QuerySpec(kind="cdf")
+        with pytest.raises(QueryError):
+            QuerySpec(kind="threshold_count", quantiles=(0.99,))
+
+    def test_windowed_needs_window(self):
+        with pytest.raises(QueryError):
+            QuerySpec(kind="windowed", quantiles=(0.99,), thresholds=(1.0,))
+        with pytest.raises(QueryError):
+            WindowSpec(window_panes=0)
+
+    def test_filters_mapping_normalized_sorted(self):
+        spec = QuerySpec(kind="quantile", filters={"b": 1, "a": 2})
+        assert spec.filters == (("a", 2), ("b", 1))
+        assert spec.filters_dict() == {"a": 2, "b": 1}
+
+    def test_json_round_trip(self):
+        spec = QuerySpec(kind="top_n", quantiles=(0.99,), n=5,
+                         group_dimension="country",
+                         filters={"version": 3}, measure="m",
+                         report_bounds=True)
+        again = QuerySpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_windowed_json_round_trip(self):
+        spec = QuerySpec(kind="windowed", quantiles=(0.95,), thresholds=(9.0,),
+                         window=WindowSpec(window_panes=6, strategy="remerge"))
+        assert QuerySpec.from_json(spec.to_json()) == spec
+
+    def test_from_dict_accepts_scalar_aliases(self):
+        spec = QuerySpec.from_dict({"kind": "quantile", "q": 0.9})
+        assert spec.quantiles == (0.9,)
+        spec = QuerySpec.from_dict(
+            {"kind": "threshold_count", "q": 0.99, "t": 5.0})
+        assert spec.thresholds == (5.0,)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(QueryError):
+            QuerySpec.from_dict({"kind": "quantile", "frobnicate": 1})
+
+    def test_qkey_distinguishes_close_floats(self):
+        assert qkey(0.1234561) != qkey(0.1234562)
+        assert qkey(0.5) == "0.5" and qkey(0.99) == "0.99"
+
+    def test_scan_signature_shared_across_quantiles(self):
+        a = QuerySpec(kind="quantile", quantiles=(0.5,), filters={"d": 1})
+        b = QuerySpec(kind="quantile", quantiles=(0.99,), filters={"d": 1})
+        c = QuerySpec(kind="quantile", quantiles=(0.5,), filters={"d": 2})
+        assert a.scan_signature() == b.scan_signature()
+        assert a.scan_signature() != c.scan_signature()
+
+
+class TestNormalizeQ:
+    def test_phi_keyword_warns(self):
+        with pytest.warns(DeprecationWarning):
+            assert normalize_q(phi=0.9) == 0.9
+
+    def test_q_and_phi_conflict(self):
+        with pytest.raises(QueryError), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            normalize_q(q=0.5, phi=0.9)
+
+    def test_default_applies(self):
+        assert normalize_q(default=0.5) == 0.5
+        with pytest.raises(QueryError):
+            normalize_q()
+
+    def test_range_checked(self):
+        with pytest.raises(QueryError):
+            normalize_q(q=1.0)
+
+
+class TestExecuteKinds:
+    def test_quantile_with_bounds(self, cube, dataset):
+        values, *_ = dataset
+        response = QueryService(cube=cube).execute(QuerySpec(
+            kind="quantile", quantiles=(0.5, 0.99), report_bounds=True))
+        assert response.kind == "quantile" and response.backend == "cube"
+        assert response.route == "packed"
+        assert response.count == values.size
+        truth = np.quantile(values, 0.5)
+        assert response.estimates[qkey(0.5)] == pytest.approx(truth, rel=0.05)
+        assert response.value == response.estimates[qkey(0.5)]
+        assert 0 < response.bounds[qkey(0.5)] <= 1.0
+
+    def test_cdf(self, cube, dataset):
+        values, *_ = dataset
+        t = float(np.quantile(values, 0.75))
+        response = QueryService(cube=cube).execute(QuerySpec(
+            kind="cdf", thresholds=(t,), report_bounds=True))
+        assert response.estimates[qkey(t)] == pytest.approx(0.75, abs=0.15)
+        bounds = response.bounds[qkey(t)]
+        assert bounds["rtt"]["lower"] <= 0.75 * values.size <= bounds["rtt"]["upper"]
+
+    def test_threshold_count_over_groups(self, cube, dataset):
+        values, country, version = dataset
+        t = float(np.quantile(values, 0.9))
+        response = QueryService(cube=cube).execute(QuerySpec(
+            kind="threshold_count", quantiles=(0.99,), thresholds=(t,),
+            group_dimension="version"))
+        assert response.value == len(response.groups)  # all p99s beat the p90
+        outcome = next(iter(response.groups.values()))[qkey(t)]
+        assert set(outcome) == {"exceeds", "stage"}
+
+    def test_group_by_matches_legacy(self, engine, dataset):
+        values, country, version = dataset
+        response = QueryService(druid=engine).execute(QuerySpec(
+            kind="group_by", quantiles=(0.9,), measure="momentsSketch@10",
+            group_dimension="country"))
+        legacy = engine.group_by("momentsSketch@10", "country", 0.9)
+        assert set(response.groups) == set(legacy)
+        for value, payload in response.groups.items():
+            assert payload[qkey(0.9)] == legacy[value]
+
+    def test_top_n_identical_to_legacy(self, engine):
+        from repro.druid import top_n_by_quantile
+        response = QueryService(druid=engine).execute(QuerySpec(
+            kind="top_n", quantiles=(0.99,), n=3,
+            measure="momentsSketch@10", group_dimension="version"))
+        legacy = top_n_by_quantile(engine, "momentsSketch@10", "version",
+                                   n=3, q=0.99)
+        assert response.top == legacy
+        assert response.value == legacy[0][1]
+
+    def test_windowed_matches_remerge(self, dataset):
+        values, *_ = dataset
+        panes = build_panes(values[:4000], pane_size=200, k=10)
+        threshold = float(np.quantile(values[:4000], 0.98))
+        response = QueryService(window=panes).execute(QuerySpec(
+            kind="windowed", quantiles=(0.99,), thresholds=(threshold,),
+            window=WindowSpec(window_panes=5, strategy="remerge")))
+        direct = remerge_windows_packed(panes, 5, threshold, 0.99)
+        assert response.merges == direct.windows_checked
+        assert [(a["start_pane"], a["end_pane"]) for a in response.alerts] \
+            == [(a.start_pane, a.end_pane) for a in direct.alerts]
+        assert response.value == len(direct.alerts)
+
+    def test_windowed_turnstile_runs(self, dataset):
+        values, *_ = dataset
+        panes = build_panes(values[:2000], pane_size=100, k=10)
+        response = QueryService(window=panes).execute(QuerySpec(
+            kind="windowed", quantiles=(0.99,), thresholds=(1e12,),
+            window=WindowSpec(window_panes=4)))
+        assert response.alerts == [] and response.route == "turnstile"
+
+    def test_estimator_maxent_strict(self, cube):
+        response = QueryService(cube=cube).execute(QuerySpec(
+            kind="quantile", quantiles=(0.5,), estimator="maxent"))
+        assert np.isfinite(response.value)
+
+    def test_unknown_backend_rejected(self, cube):
+        with pytest.raises(QueryError):
+            QueryService(cube=cube).execute(
+                QuerySpec(kind="quantile", backend="druid"))
+
+    def test_no_matching_cells(self, cube):
+        with pytest.raises(QueryError):
+            QueryService(cube=cube).execute(QuerySpec(
+                kind="quantile", filters={"country": "ZZ"}))
+
+    def test_unsupported_interval_rejected_not_ignored(self, cube, engine):
+        # Backends that cannot honor a constraint must refuse it rather
+        # than silently answering over all time / all panes.
+        service = QueryService(cube=cube, druid=engine)
+        with pytest.raises(QueryError):
+            service.execute(QuerySpec(kind="quantile",
+                                      interval=(0.0, 3600.0)))
+        with pytest.raises(QueryError):
+            service.execute(QuerySpec(kind="group_by", quantiles=(0.5,),
+                                      group_dimension="country",
+                                      interval=(0.0, 3600.0)))
+        with pytest.raises(QueryError):
+            service.execute(QuerySpec(
+                kind="group_by", quantiles=(0.5,),
+                measure="momentsSketch@10", group_dimension="country",
+                interval=(0.0, 3600.0), backend="druid"))
+
+    def test_windowed_filters_rejected(self, dataset):
+        values, *_ = dataset
+        panes = build_panes(values[:1000], pane_size=100, k=10)
+        with pytest.raises(QueryError):
+            QueryService(window=panes).execute(QuerySpec(
+                kind="windowed", quantiles=(0.99,), thresholds=(1.0,),
+                filters={"service": "api"},
+                window=WindowSpec(window_panes=2)))
+
+    def test_spec_coercion_from_json_and_dict(self, cube):
+        service = QueryService(cube=cube)
+        a = service.execute('{"kind": "quantile", "q": 0.5}')
+        b = service.execute({"kind": "quantile", "q": 0.5})
+        assert a.value == b.value
+
+
+class TestBatchedExecution:
+    def test_one_merge_per_distinct_cell_subset(self, cube, monkeypatch):
+        calls = []
+        original = PackedSketchStore.batch_merge
+
+        def counting(self, indices=None):
+            calls.append(1)
+            return original(self, indices)
+
+        monkeypatch.setattr(PackedSketchStore, "batch_merge", counting)
+        service = QueryService(cube=cube)
+        specs = (
+            # Four specs over one cell subset -> one packed merge.
+            [QuerySpec(kind="quantile", quantiles=(q,))
+             for q in (0.1, 0.5, 0.9, 0.99)]
+            # A second distinct subset -> exactly one more merge.
+            + [QuerySpec(kind="quantile", quantiles=(0.5,),
+                         filters={"country": "US"}),
+               QuerySpec(kind="cdf", thresholds=(5.0,),
+                         filters={"country": "US"})])
+        responses = service.execute_batch(specs)
+        assert len(calls) == 2
+        report = service.last_batch_report
+        assert report.specs == 6 and report.distinct_scans == 2
+        assert report.shared_hits == 4 and report.merge_calls == 2
+        assert [r.shared_scan for r in responses] == [
+            False, True, True, True, False, True]
+
+    def test_batch_matches_individual_execution(self, cube):
+        service = QueryService(cube=cube)
+        specs = [QuerySpec(kind="quantile", quantiles=(q,))
+                 for q in (0.2, 0.8)]
+        batched = service.execute_batch(specs)
+        singles = [service.execute(spec) for spec in specs]
+        for one, many in zip(singles, batched):
+            assert one.value == many.value
+
+    def test_fused_multi_quantile_single_solve(self, cube):
+        service = QueryService(cube=cube)
+        responses = service.execute_batch(
+            [QuerySpec(kind="quantile", quantiles=(q,))
+             for q in (0.25, 0.5, 0.75)])
+        # The shared summary caches its estimator: later specs reuse the
+        # first solve, so their solve phase is drastically cheaper.
+        assert responses[0].timings.solve_seconds > 0
+        assert responses[1].timings.solve_seconds < responses[0].timings.solve_seconds
+        fused = service.execute(QuerySpec(kind="quantile",
+                                          quantiles=(0.25, 0.5, 0.75)))
+        for q, response in zip((0.25, 0.5, 0.75), responses):
+            assert fused.estimates[qkey(q)] == response.value
+
+    def test_group_scans_shared(self, cube, monkeypatch):
+        calls = []
+        original = PackedSketchStore.batch_merge_groups
+
+        def counting(self, rows, gids):
+            calls.append(1)
+            return original(self, rows, gids)
+
+        monkeypatch.setattr(PackedSketchStore, "batch_merge_groups", counting)
+        service = QueryService(cube=cube)
+        service.execute_batch([
+            QuerySpec(kind="group_by", quantiles=(0.5,),
+                      group_dimension="country"),
+            QuerySpec(kind="group_by", quantiles=(0.99,),
+                      group_dimension="country"),
+            QuerySpec(kind="top_n", quantiles=(0.99,), n=2,
+                      group_dimension="country"),
+        ])
+        assert len(calls) == 1
+        assert service.last_batch_report.shared_hits == 2
+
+
+class TestLegacyShims:
+    def test_druid_query_routes_through_api(self, engine):
+        spec = QuerySpec(kind="quantile", quantiles=(0.99,),
+                         measure="momentsSketch@10")
+        via_api = QueryService(druid=engine).execute(spec)
+        legacy = engine.query("momentsSketch@10", 0.99)
+        assert legacy.value == via_api.value
+        assert legacy.cells_scanned == via_api.cells_scanned
+
+    def test_druid_timing_fields_consistent(self, engine, dataset):
+        values, country, version = dataset
+        packed = engine.query("momentsSketch@10", 0.9)
+        loop = engine.query("S-Hist@100", 0.9)
+        for result in (packed, loop):
+            assert result.planner_seconds >= 0
+            assert result.merge_seconds > 0
+            assert result.finalize_seconds > 0
+            assert result.solve_seconds == result.finalize_seconds
+            assert result.total_seconds == pytest.approx(
+                result.planner_seconds + result.merge_seconds
+                + result.finalize_seconds)
+
+    def test_cube_quantile_routes_through_api(self, cube):
+        spec = QuerySpec(kind="quantile", quantiles=(0.95,),
+                         filters={"country": "CA"})
+        via_api = QueryService(cube=cube).execute(spec)
+        assert cube.quantile(0.95, {"country": "CA"}) == via_api.value
+
+    def test_cube_quantile_updates_last_merge_count(self, cube):
+        ca_cells = sum(1 for key, _ in cube.matching_cells({"country": "CA"}))
+        cube.quantile(0.5, {"country": "CA"})
+        assert cube.last_merge_count == ca_cells
+        cube.quantile(0.5)
+        assert cube.last_merge_count == cube.num_cells
+
+    def test_deprecated_phi_keyword_warns(self, cube, engine):
+        with pytest.warns(DeprecationWarning):
+            cube.quantile(phi=0.5)
+        with pytest.warns(DeprecationWarning):
+            engine.query("momentsSketch@10", phi=0.5)
+
+    def test_canonical_q_keyword_is_silent(self, cube):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cube.quantile(q=0.5)
+
+
+class TestBackendsAndPlanner:
+    def test_as_backend_adapts_engines(self, cube, engine):
+        assert as_backend(cube).name == "cube"
+        assert as_backend(engine).name == "druid"
+        assert as_backend(PackedSketchStore(k=4)).name == "packed"
+        with pytest.raises(QueryError):
+            as_backend(object())
+
+    def test_as_backend_passthrough(self, cube):
+        backend = as_backend(cube)
+        assert as_backend(backend) is backend
+
+    def test_plan_modes(self, cube):
+        backend = as_backend(cube)
+        assert plan(QuerySpec(kind="quantile"), backend).mode == "rollup"
+        assert plan(QuerySpec(kind="group_by", group_dimension="d"),
+                    backend).mode == "group"
+        with pytest.raises(QueryError):
+            plan(QuerySpec(kind="windowed", quantiles=(0.9,),
+                           thresholds=(1.0,),
+                           window=WindowSpec(window_panes=2)), backend)
+
+    def test_packed_store_backend_filters_and_groups(self):
+        store = PackedSketchStore(k=6)
+        rng = np.random.default_rng(3)
+        keys = []
+        for color in ("red", "blue", "red", "blue"):
+            row = store.new_row()
+            store.accumulate_row(row, rng.lognormal(1.0, 0.5, 500))
+            keys.append((color,))
+        service = QueryService(packed=as_backend(
+            store, keys=keys, dimensions=("color",)))
+        filtered = service.execute(QuerySpec(kind="quantile",
+                                             filters={"color": "red"}))
+        assert filtered.cells_scanned == 2
+        grouped = service.execute(QuerySpec(kind="group_by", quantiles=(0.5,),
+                                            group_dimension="color"))
+        assert set(grouped.groups) == {"red", "blue"}
+
+    def test_summaries_backend_rejects_filters(self):
+        summary = MomentsSummary(k=6)
+        summary.accumulate(np.arange(1.0, 100.0))
+        with pytest.raises(QueryError):
+            QueryService(s=SummariesBackend([summary])).execute(
+                QuerySpec(kind="quantile", filters={"d": 1}))
+
+    def test_execute_convenience(self, cube):
+        response = execute(QuerySpec(kind="quantile"), cube)
+        assert response.backend == "cube"
+
+    def test_custom_backend_registration(self, cube):
+        class Custom(Backend):
+            name = "custom"
+
+            def rollup(self, spec):
+                return as_backend(cube).rollup(spec)
+
+        response = QueryService(mine=Custom()).execute(
+            QuerySpec(kind="quantile"))
+        assert response.backend == "mine"
+
+
+class TestResponseRoundTrip:
+    def test_json_round_trip_stable(self, cube):
+        response = QueryService(cube=cube).execute(QuerySpec(
+            kind="quantile", quantiles=(0.5, 0.9), report_bounds=True,
+            report_moments=True))
+        text = response.to_json()
+        again = QueryResponse.from_json(text)
+        assert again.to_json() == text
+        payload = json.loads(text)
+        assert payload["backend"] == "cube"
+        assert set(payload["timings"]) == {"planner_seconds", "merge_seconds",
+                                           "solve_seconds"}
+
+    def test_group_keys_stringified_in_json(self, engine):
+        response = QueryService(druid=engine).execute(QuerySpec(
+            kind="group_by", quantiles=(0.5,), measure="momentsSketch@10",
+            group_dimension="version"))
+        payload = response.to_dict()
+        assert all(isinstance(key, str) for key in payload["groups"])
+        again = QueryResponse.from_dict(payload)
+        assert again.to_dict() == payload

@@ -64,16 +64,68 @@ class TestSketchCommands:
                                "-o", str(merged))
         assert code == 0 and result["count"] == 8000
         code, result = run_cli(capsys, "sketch", "query", str(merged),
-                               "--phi", "0.5", "0.9")
+                               "--q", "0.5", "0.9")
         assert code == 0
         assert result["quantiles"]["0.5"] == pytest.approx(10.0, abs=0.3)
 
     def test_threshold(self, sketch_file, capsys):
         code, result = run_cli(capsys, "sketch", "threshold", str(sketch_file),
-                               "--t", "1e9", "--phi", "0.99")
+                               "--t", "1e9", "--q", "0.99")
         assert code == 0
         assert result["exceeds"] is False
         assert result["decided_by"] == "simple"
+
+    def test_query_q_flag_matches_phi(self, sketch_file, capsys):
+        code, via_q = run_cli(capsys, "sketch", "query", str(sketch_file),
+                              "--q", "0.5", "0.9")
+        assert code == 0
+        with pytest.warns(DeprecationWarning):
+            code, via_phi = run_cli(capsys, "sketch", "query",
+                                    str(sketch_file), "--phi", "0.5", "0.9")
+        assert code == 0
+        assert via_q == via_phi
+
+    def test_query_rejects_q_and_phi_together(self, sketch_file, capsys):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            code, result = run_cli(capsys, "sketch", "query",
+                                   str(sketch_file),
+                                   "--q", "0.5", "--phi", "0.9")
+        assert code == 1 and "error" in result
+
+    def test_query_spec_emits_query_response(self, sketch_file, capsys):
+        code, result = run_cli(
+            capsys, "sketch", "query", str(sketch_file), "--spec",
+            '{"kind": "quantile", "quantiles": [0.5], "report_bounds": true}')
+        assert code == 0
+        assert result["kind"] == "quantile"
+        assert "0.5" in result["estimates"]
+        assert 0 < result["bounds"]["0.5"] <= 1
+        assert set(result["timings"]) == {"planner_seconds", "merge_seconds",
+                                          "solve_seconds"}
+        # Flag-based invocation must agree with the spec-routed one.
+        code, legacy = run_cli(capsys, "sketch", "query", str(sketch_file),
+                               "--q", "0.5")
+        assert legacy["quantiles"]["0.5"] == result["estimates"]["0.5"]
+
+    def test_threshold_spec_route(self, sketch_file, capsys):
+        code, result = run_cli(
+            capsys, "sketch", "threshold", str(sketch_file), "--spec",
+            '{"kind": "threshold_count", "q": 0.99, "t": 1e9}')
+        assert code == 0
+        assert result["value"] == 0.0
+        assert result["groups"]["*"]["1000000000.0"]["exceeds"] is False
+
+    def test_threshold_requires_t_without_spec(self, sketch_file, capsys):
+        code, result = run_cli(capsys, "sketch", "threshold",
+                               str(sketch_file))
+        assert code == 1 and "error" in result
+
+    def test_bad_spec_is_structured_error(self, sketch_file, capsys):
+        code, result = run_cli(capsys, "sketch", "query", str(sketch_file),
+                               "--spec", '{"kind": "nope"}')
+        assert code == 1 and "error" in result
 
     def test_bounds(self, sketch_file, capsys):
         code, result = run_cli(capsys, "sketch", "bounds", str(sketch_file),

@@ -54,13 +54,13 @@ class TestQueries:
 
     def test_quantile_query_accuracy(self, engine):
         *_, values = engine._test_data
-        result = engine.query("momentsSketch@10", phi=0.99)
+        result = engine.query("momentsSketch@10", q=0.99)
         truth = np.quantile(values, 0.99)
         assert result.value == pytest.approx(truth, rel=0.1)
 
     def test_histogram_aggregator_answers(self, engine):
         *_, values = engine._test_data
-        result = engine.query("S-Hist@100", phi=0.5)
+        result = engine.query("S-Hist@100", q=0.5)
         assert result.value == pytest.approx(np.quantile(values, 0.5), rel=0.2)
 
     def test_filtered_query(self, engine):
@@ -94,10 +94,10 @@ class TestQueries:
                                                  rel=1e-9)
 
     def test_single_thread_matches_threaded(self, engine):
-        threaded = engine.query("momentsSketch@10", phi=0.9)
+        threaded = engine.query("momentsSketch@10", q=0.9)
         engine.processing_threads = 1
         try:
-            single = engine.query("momentsSketch@10", phi=0.9)
+            single = engine.query("momentsSketch@10", q=0.9)
         finally:
             engine.processing_threads = 2
         assert single.value == pytest.approx(threaded.value, rel=1e-6)
@@ -164,15 +164,15 @@ class TestPackedMoments:
         packed, plain = engine_pair
         for kwargs in ({}, {"filters": {"country": "US"}},
                        {"interval": (0.0, 4 * 3600 - 1e-6)}):
-            a = packed.query("momentsSketch@8", phi=0.95, **kwargs)
-            b = plain.query("momentsSketch@8", phi=0.95, **kwargs)
+            a = packed.query("momentsSketch@8", q=0.95, **kwargs)
+            b = plain.query("momentsSketch@8", q=0.95, **kwargs)
             assert a.cells_scanned == b.cells_scanned
             assert a.value == pytest.approx(b.value, rel=1e-9)
 
     def test_group_by_matches_object_layout(self, engine_pair):
         packed, plain = engine_pair
-        a = packed.group_by("momentsSketch@8", "country", phi=0.9)
-        b = plain.group_by("momentsSketch@8", "country", phi=0.9)
+        a = packed.group_by("momentsSketch@8", "country", q=0.9)
+        b = plain.group_by("momentsSketch@8", "country", q=0.9)
         assert set(a) == set(b)
         for key in a:
             assert a[key] == pytest.approx(b[key], rel=1e-9)

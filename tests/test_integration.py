@@ -61,8 +61,8 @@ class TestDruidEndToEnd:
                       [rng.integers(0, 30, n), rng.choice(["US", "CA"], n)],
                       values)
         truth = float(np.quantile(values, 0.99))
-        moments = engine.query("momentsSketch@10", phi=0.99)
-        histogram = engine.query("S-Hist@100", phi=0.99)
+        moments = engine.query("momentsSketch@10", q=0.99)
+        histogram = engine.query("S-Hist@100", q=0.99)
         assert moments.value == pytest.approx(truth, rel=0.15)
         assert histogram.value == pytest.approx(truth, rel=0.5)
         # The Figure 11 claim is about *time*: merging thousands of
@@ -108,7 +108,7 @@ class TestSlidingWindowEndToEnd:
         w = 12
         threshold = 1000.0
         processor = TurnstileWindowProcessor(panes, window_panes=w)
-        result = processor.query(threshold=threshold, phi=0.99)
+        result = processor.query(threshold=threshold, q=0.99)
         got = {a.start_pane for a in result.alerts}
         expected = set()
         for start in range(len(panes) - w + 1):

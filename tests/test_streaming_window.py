@@ -70,7 +70,7 @@ class TestAlerting:
         monitor.ingest(spiked_stream)
         batch = TurnstileWindowProcessor(
             build_panes(spiked_stream, 500), window_panes=w)
-        batch_result = batch.query(threshold=threshold, phi=phi)
+        batch_result = batch.query(threshold=threshold, q=phi)
         assert ({a.start_pane for a in monitor.alerts}
                 == {a.start_pane for a in batch_result.alerts})
         assert monitor.alerts, "the spike must fire alerts"

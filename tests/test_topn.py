@@ -36,14 +36,14 @@ class TestTopN:
     @pytest.mark.parametrize("n_top", [1, 3, 5])
     def test_matches_brute_force_ranking(self, engine, n_top):
         result = top_n_by_quantile(engine, "momentsSketch@10", "version",
-                                   n=n_top, phi=0.99)
+                                   n=n_top, q=0.99)
         got = [value for value, _ in result]
         expected = brute_force_top(engine, n_top, 0.99)
         assert got == expected
 
     def test_scores_are_descending_quantiles(self, engine):
         result = top_n_by_quantile(engine, "momentsSketch@10", "version",
-                                   n=4, phi=0.9)
+                                   n=4, q=0.9)
         scores = [score for _, score in result]
         assert scores == sorted(scores, reverse=True)
         version, _, values = engine._truth
@@ -54,7 +54,7 @@ class TestTopN:
     def test_filtered_topn(self, engine):
         version, region, values = engine._truth
         result = top_n_by_quantile(engine, "momentsSketch@10", "version",
-                                   n=2, phi=0.99, filters={"region": "na"})
+                                   n=2, q=0.99, filters={"region": "na"})
         mask = region == "na"
         scores = {v: float(np.quantile(values[mask & (version == v)], 0.99))
                   for v in np.unique(version)}
@@ -64,12 +64,12 @@ class TestTopN:
     def test_works_for_non_moments_aggregator(self, engine):
         # No pruning path for histograms: estimates everything, same answer.
         result = top_n_by_quantile(engine, "S-Hist@100", "version",
-                                   n=3, phi=0.99)
+                                   n=3, q=0.99)
         assert [value for value, _ in result] == brute_force_top(engine, 3, 0.99)
 
     def test_n_larger_than_groups_returns_all(self, engine):
         result = top_n_by_quantile(engine, "momentsSketch@10", "version",
-                                   n=50, phi=0.5)
+                                   n=50, q=0.5)
         assert len(result) == 10
 
     def test_validation(self, engine):

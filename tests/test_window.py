@@ -68,7 +68,7 @@ class TestTurnstile:
         values, pane_size, spike_panes = spiked_stream
         panes = build_panes(values, pane_size)
         processor = TurnstileWindowProcessor(panes, window_panes=24)
-        result = processor.query(threshold=1500.0, phi=0.99)
+        result = processor.query(threshold=1500.0, q=0.99)
         assert result.alerts, "spikes must be detected"
         spike_set = set(spike_panes)
         for alert in result.alerts:
@@ -80,7 +80,7 @@ class TestTurnstile:
         values = rng.lognormal(1.0, 1.0, 30_000)
         panes = build_panes(values, 500)
         processor = TurnstileWindowProcessor(panes, window_panes=24)
-        result = processor.query(threshold=float(values.max()) * 2, phi=0.99)
+        result = processor.query(threshold=float(values.max()) * 2, q=0.99)
         assert not result.alerts
 
     def test_window_parameter_validation(self, spiked_stream):
@@ -116,7 +116,7 @@ class TestRemergeBaseline:
         values, pane_size, _ = spiked_stream
         panes = build_panes(values, pane_size)
         processor = TurnstileWindowProcessor(panes, window_panes=24)
-        result = processor.query(threshold=1e12, phi=0.99)
+        result = processor.query(threshold=1e12, q=0.99)
         assert result.windows_checked == len(panes) - 24 + 1
 
 
