@@ -1,24 +1,29 @@
 # Test and benchmark entry points.  `make test` is the CI gate: byte
-# compilation, tier-1 tests, plus smoke runs of the packed-merge and
-# batched-query benchmarks, which fail on any packed-vs-loop divergence
-# or broken scan sharing.
+# compilation, tier-1 tests, plus smoke runs of the packed-merge,
+# batched-query, and cluster-scaling benchmarks, which fail on any
+# packed-vs-loop divergence, broken scan sharing, or cluster answers
+# that are not bit-exact across topologies and failovers.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-merge bench-batch bench
+.PHONY: test bench-merge bench-batch bench-cluster bench
 
 test:
 	$(PYTHON) -m compileall -q src
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) benchmarks/bench_batch_merge.py --quick
 	$(PYTHON) benchmarks/bench_execute_batch.py --quick
+	$(PYTHON) benchmarks/bench_cluster_scaling.py --quick
 
 bench-merge:
 	$(PYTHON) benchmarks/bench_batch_merge.py --require-speedup 10
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_execute_batch.py
+
+bench-cluster:
+	$(PYTHON) benchmarks/bench_cluster_scaling.py --require-scaling
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

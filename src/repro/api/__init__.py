@@ -2,7 +2,8 @@
 
 One :class:`QuerySpec` describes a query; a :class:`QueryService` plans
 it and executes it against any registered backend — data cube, Druid
-engine, packed sketch store, window panes — returning a uniform
+engine, packed sketch store, window panes, or a simulated
+:mod:`repro.cluster` scatter-gather cluster — returning a uniform
 :class:`QueryResponse` with estimates, optional certified bounds, and
 the Eq. 2 planner/merge/solve cost decomposition.  See
 ``examples/unified_api.py`` for one spec run against three backends.

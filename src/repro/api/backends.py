@@ -172,7 +172,7 @@ class _FinalizeSummary:
         self.state = state
 
     def quantile(self, q: float) -> float:
-        return self.state.finalize(phi=q)
+        return self.state.finalize(q=q)
 
     def quantiles(self, qs) -> np.ndarray:
         return np.asarray([self.quantile(float(q)) for q in np.atleast_1d(qs)])
@@ -228,10 +228,7 @@ class DruidBackend(Backend):
             if scanned == 0:
                 raise QueryError("query matched no cells")
             start = time.perf_counter()
-            partials = [store.batch_merge(rows) for store, rows in refs]
-            sketch = partials[0]
-            for partial in partials[1:]:
-                sketch.merge(partial)
+            sketch = DruidEngine.fold_packed_refs(refs)
             merged = engine._wrap_packed(aggregator, sketch)
             return RollupResult(summary=_state_summary(merged),
                                 cells_scanned=scanned, merge_calls=len(refs),
@@ -479,9 +476,16 @@ def as_backend(obj, **kwargs) -> Backend:
     """Adapt a raw engine object (or pass a Backend through unchanged)."""
     if isinstance(obj, Backend):
         return obj
-    for predicate, factory in ADAPTERS:
-        if predicate(obj):
-            return factory(obj, **kwargs)
+    for attempt in range(2):
+        for predicate, factory in ADAPTERS:
+            if predicate(obj):
+                return factory(obj, **kwargs)
+        if attempt == 0:
+            # Layers above this module (the cluster serving layer)
+            # register their adapters on import; pull them in lazily so
+            # `QueryService(cluster=coordinator)` works without the
+            # caller importing repro.cluster first.
+            from .. import cluster  # noqa: F401
     raise QueryError(
         f"no backend adapter for {type(obj).__name__}; register one with "
         "repro.api.register_adapter or pass a Backend instance")

@@ -180,6 +180,91 @@ def cmd_datasets_generate(args: argparse.Namespace) -> dict:
     return {"output": args.output, "rows": int(data.size)}
 
 
+def cmd_cluster_demo(args: argparse.Namespace) -> dict:
+    """Build a simulated cluster, query it, kill a node, query again.
+
+    The single-process Druid reference ingests the same rows with
+    shard-aligned time chunks, so its per-segment fold matches the
+    broker's per-shard fold and the comparison is bit-exact.
+    """
+    from .api import as_backend
+    from .cluster import ClusterCoordinator, timings_breakdown
+    from .druid import DruidEngine, MomentsSketchAggregator
+
+    qs = _quantile_args(args, default=[0.5, 0.99])
+    rng = np.random.default_rng(args.seed)
+    values = rng.lognormal(1.0, 1.0, args.rows)
+    cells = (np.arange(args.rows) % args.cells).astype(int)
+
+    aggregators = {"value": MomentsSketchAggregator(k=10)}
+    cluster = ClusterCoordinator(
+        dimensions=("cell",), aggregators=aggregators,
+        num_shards=args.shards, replication=args.replication,
+        granularity=1.0, nodes=[f"node-{i}" for i in range(args.nodes)])
+    timestamps = cluster.shard_ids([cells]).astype(float)
+    cluster.ingest(timestamps, [cells], values)
+
+    reference = DruidEngine(dimensions=("cell",), aggregators=aggregators,
+                            granularity=1.0, processing_threads=1)
+    reference.ingest(timestamps, [cells], values)
+
+    backend = as_backend(cluster, threads=args.threads)
+    service = QueryService(cluster=backend, druid=reference)
+    spec = QuerySpec(kind="quantile", quantiles=tuple(qs),
+                     report_moments=True)
+    before = service.execute(spec, backend="cluster")
+    single = service.execute(spec, backend="druid")
+
+    victim = args.kill or f"node-{args.nodes - 1}"
+    cluster.fail_node(victim, repair=not args.no_repair)
+    after = service.execute(spec, backend="cluster")
+
+    status = cluster.status()
+    return {
+        "topology": {"nodes": args.nodes, "shards": args.shards,
+                     "replication": args.replication,
+                     "cells": cluster.num_cells,
+                     "live_nodes": list(cluster.live_nodes)},
+        "quantiles": {qkey(q): float(before.estimates[qkey(q)]) for q in qs},
+        "matches_single_process": before.estimates == single.estimates
+        and before.moments == single.moments,
+        "timings": timings_breakdown(backend,
+                                     solve_seconds=after.timings.solve_seconds),
+        "failover": {
+            "killed": victim,
+            "repaired": not args.no_repair,
+            "answers_unchanged": after.estimates == before.estimates
+            and after.moments == before.moments,
+            "rebalance": (
+                {"copied_shards": cluster.last_rebalance.copied_shards,
+                 "bytes_copied": cluster.last_rebalance.bytes_copied}
+                if not args.no_repair and cluster.last_rebalance else None),
+        },
+        "status": status.to_dict(),
+    }
+
+
+def cmd_cluster_placement(args: argparse.Namespace) -> dict:
+    """Show consistent-hash shard placement and the cost of one node add."""
+    from .cluster import HashRing
+
+    node_ids = [f"node-{i}" for i in range(args.nodes)]
+    ring = HashRing(nodes=node_ids, replication=args.replication,
+                    vnodes=args.vnodes)
+    before = ring.placement(args.shards)
+    primaries: dict[str, int] = {node_id: 0 for node_id in node_ids}
+    for owners in before.values():
+        primaries[owners[0]] += 1
+    ring.add_node(f"node-{args.nodes}")
+    moved = HashRing.moved_shards(before, ring.placement(args.shards))
+    return {"nodes": args.nodes, "shards": args.shards,
+            "replication": args.replication, "vnodes": args.vnodes,
+            "primary_shards_per_node": primaries,
+            "moved_on_one_node_add": len(moved),
+            "moved_fraction": len(moved) / args.shards,
+            "ideal_fraction": args.replication / (args.nodes + 1)}
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -240,6 +325,37 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--spec", default=None,
                         help="QuerySpec JSON; emits the full QueryResponse")
     bounds.set_defaults(handler=cmd_bounds)
+
+    cluster = subcommands.add_parser(
+        "cluster", help="simulated scatter-gather cluster (repro.cluster)")
+    cluster_sub = cluster.add_subparsers(dest="action", required=True)
+
+    demo = cluster_sub.add_parser(
+        "demo", help="ingest, query, kill a node, verify identical answers")
+    demo.add_argument("--nodes", type=int, default=4)
+    demo.add_argument("--shards", type=int, default=32)
+    demo.add_argument("--replication", type=int, default=2)
+    demo.add_argument("--rows", type=int, default=50_000)
+    demo.add_argument("--cells", type=int, default=200,
+                      help="distinct dimension values (cluster cells)")
+    demo.add_argument("--threads", type=int, default=4,
+                      help="broker fan-out threads")
+    demo.add_argument("--q", type=float, nargs="+", default=None,
+                      help="target quantile fractions (default 0.5 0.99)")
+    demo.add_argument("--kill", default=None,
+                      help="node id to fail (default: the last node)")
+    demo.add_argument("--no-repair", action="store_true",
+                      help="serve degraded instead of re-replicating")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(handler=cmd_cluster_demo)
+
+    placement = cluster_sub.add_parser(
+        "placement", help="inspect consistent-hash shard placement")
+    placement.add_argument("--nodes", type=int, default=4)
+    placement.add_argument("--shards", type=int, default=64)
+    placement.add_argument("--replication", type=int, default=2)
+    placement.add_argument("--vnodes", type=int, default=64)
+    placement.set_defaults(handler=cmd_cluster_placement)
 
     datasets = subcommands.add_parser("datasets",
                                       help="synthetic evaluation datasets")

@@ -1,0 +1,26 @@
+"""Sharded scatter-gather serving layer (simulated multi-node cluster).
+
+Turns the single-process engine into a cluster: a
+:class:`ClusterCoordinator` places shards on :class:`DataNode` replicas
+via a consistent-hash :class:`HashRing`, and a :class:`ClusterBroker`
+answers queries scatter-gather style — vectorized packed partial merges
+on each node, ~200-byte partials combined at the broker, one max-entropy
+solve.  :class:`ClusterBackend` plugs the whole thing into the unified
+query API, so any :class:`~repro.api.QuerySpec` runs unchanged against a
+cluster (``QueryService(cluster=coordinator)``).
+
+See ``examples/cluster_quantiles.py`` for the full lifecycle: ingest,
+scale out, kill a node, identical quantiles.
+"""
+
+from .backend import ClusterBackend, timings_breakdown
+from .broker import ClusterBroker, ScatterProfile
+from .coordinator import ClusterCoordinator, ClusterStatus, RebalanceReport
+from .hashring import HashRing, shard_of, stable_hash
+from .node import DataNode, ShardPartial, ShardSnapshot
+
+__all__ = [
+    "ClusterBackend", "timings_breakdown", "ClusterBroker", "ScatterProfile",
+    "ClusterCoordinator", "ClusterStatus", "RebalanceReport", "HashRing",
+    "shard_of", "stable_hash", "DataNode", "ShardPartial", "ShardSnapshot",
+]

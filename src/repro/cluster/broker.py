@@ -1,0 +1,218 @@
+"""Scatter-gather broker: fan out, merge ~200-byte partials, solve once.
+
+The :class:`ClusterBroker` is the query-side counterpart of the
+coordinator: given an aggregation query it
+
+1. **routes** — picks one live replica per shard (replication-aware:
+   choice rotates deterministically across a shard's live owners, so
+   replicas share read load; point queries whose filters pin every
+   dimension route to the single owning shard);
+2. **scatters** — fans the per-node work out on a thread pool; each node
+   reduces its shards with vectorized packed merges (numpy releases the
+   GIL, so nodes genuinely overlap);
+3. **gathers** — combines the per-shard partial sketches (~200 bytes
+   each at the paper's ``k = 10``) in ascending shard order with a strict
+   left fold;
+4. leaves the single max-entropy **solve** to the query service, which
+   runs it once on the combined sketch.
+
+Because a shard's partial is a deterministic left fold over that shard's
+cells — computed identically by every replica — the gathered result is
+bit-for-bit independent of both the node count and which replicas
+answered.  That is what makes the failover gate ("kill a node, answers
+unchanged") an exact-equality check rather than a tolerance test.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.errors import ClusterError
+from ..druid.aggregators import AggregatorState
+from .coordinator import ClusterCoordinator
+from .node import ShardPartial
+
+#: Default broker fan-out threads (one per simulated connection).
+DEFAULT_THREADS = 4
+
+
+@dataclass(frozen=True)
+class ScatterProfile:
+    """Per-phase cost of one scatter-gather query (route/scatter/merge).
+
+    The estimator solve happens downstream in the query service and is
+    reported there as ``solve_seconds``; together the four phases are the
+    cluster's Eq. 2 decomposition.
+    """
+
+    route_seconds: float
+    scatter_seconds: float
+    merge_seconds: float
+    nodes_queried: int
+    shards_scanned: int
+    cells_scanned: int
+    partial_bytes: int
+
+
+class ClusterBroker:
+    """Scatter-gather query executor over a :class:`ClusterCoordinator`."""
+
+    def __init__(self, coordinator: ClusterCoordinator,
+                 threads: int = DEFAULT_THREADS):
+        self.coordinator = coordinator
+        self.threads = max(int(threads), 1)
+        self._pool: ThreadPoolExecutor | None = None
+        self.last_profile: ScatterProfile | None = None
+        #: Scatter rounds served (tests use this to assert scan sharing).
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, filters: Mapping[str, object] | None = None
+              ) -> dict[str, list[int]]:
+        """Node -> shard assignment for one query.
+
+        Each shard is served by one live owner; the pick rotates with the
+        shard id across the owner list so replicas split read load.  When
+        ``filters`` pin every dimension, the full key identifies its one
+        shard and the scatter collapses to a single node.
+        """
+        coordinator = self.coordinator
+        if filters and set(filters) == set(coordinator.dimensions):
+            key = tuple(filters[dim] for dim in coordinator.dimensions)
+            shards: list[int] = [coordinator.shard_of_key(key)]
+        else:
+            shards = list(range(coordinator.num_shards))
+        assignments: dict[str, list[int]] = {}
+        for shard in shards:
+            owners = coordinator.live_owners(shard)
+            if not owners:
+                raise ClusterError(
+                    f"shard {shard} is unavailable: no live replica")
+            node_id = owners[shard % len(owners)]
+            assignments.setdefault(node_id, []).append(shard)
+        return assignments
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads,
+                thread_name_prefix="cluster-broker")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ClusterBroker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Scatter-gather execution
+    # ------------------------------------------------------------------
+
+    def scatter_rollup(self, aggregator: str,
+                       filters: Mapping[str, object] | None = None,
+                       interval: tuple[float, float] | None = None
+                       ) -> AggregatorState | None:
+        """Merged cluster-wide state for one roll-up (None: no cells).
+
+        Records the route/scatter/merge phase profile in
+        :attr:`last_profile`.
+        """
+        start = time.perf_counter()
+        assignments = self.route(filters)
+        route_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        partials = self._scatter(
+            assignments,
+            lambda node, shards: node.shard_partials(
+                aggregator, shards, filters, interval))
+        scatter_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        partials.sort(key=lambda partial: partial.shard)
+        merged: AggregatorState | None = None
+        for partial in partials:
+            if merged is None:
+                merged = partial.state.copy()
+            else:
+                merged.merge(partial.state)
+        merge_seconds = time.perf_counter() - start
+
+        self.queries_served += 1
+        self.last_profile = ScatterProfile(
+            route_seconds=route_seconds, scatter_seconds=scatter_seconds,
+            merge_seconds=merge_seconds, nodes_queried=len(assignments),
+            shards_scanned=len(partials),
+            cells_scanned=sum(p.cells_scanned for p in partials),
+            partial_bytes=sum(p.size_bytes() for p in partials))
+        return merged
+
+    def scatter_group(self, aggregator: str, dimension: str,
+                      filters: Mapping[str, object] | None = None
+                      ) -> dict[object, AggregatorState]:
+        """Merged state per distinct value of ``dimension`` (group-by).
+
+        Shards colocate whole cells, so each group value's partials fold
+        across shards in ascending shard order, mirroring the
+        single-process engine's ascending-segment fold.
+        """
+        start = time.perf_counter()
+        assignments = self.route(filters)
+        route_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        shard_groups = self._scatter(
+            assignments,
+            lambda node, shards: node.group_partials(
+                aggregator, shards, dimension, filters))
+        scatter_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        shard_groups.sort(key=lambda item: item[0])
+        merged: dict[object, AggregatorState] = {}
+        cells = 0
+        shards_hit = 0
+        for _, groups, shard_cells in shard_groups:
+            shards_hit += 1
+            cells += shard_cells
+            for value, state in groups.items():
+                existing = merged.get(value)
+                if existing is None:
+                    merged[value] = state.copy()
+                else:
+                    existing.merge(state)
+        merge_seconds = time.perf_counter() - start
+
+        self.queries_served += 1
+        self.last_profile = ScatterProfile(
+            route_seconds=route_seconds, scatter_seconds=scatter_seconds,
+            merge_seconds=merge_seconds, nodes_queried=len(assignments),
+            shards_scanned=shards_hit, cells_scanned=cells,
+            partial_bytes=0)
+        return merged
+
+    def _scatter(self, assignments: dict[str, list[int]], work) -> list:
+        """Run per-node work on the pool; flatten the gathered results."""
+        nodes = self.coordinator.nodes
+        items = sorted(assignments.items())
+        if len(items) <= 1 or self.threads == 1:
+            gathered = [work(nodes[node_id], shards)
+                        for node_id, shards in items]
+        else:
+            pool = self._executor()
+            gathered = list(pool.map(
+                lambda item: work(nodes[item[0]], item[1]), items))
+        return [result for results in gathered for result in results]

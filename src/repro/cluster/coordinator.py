@@ -1,0 +1,326 @@
+"""Cluster coordinator: membership, shard routing, replication repair.
+
+The :class:`ClusterCoordinator` is the control plane of the simulated
+cluster: it owns the :class:`~repro.cluster.hashring.HashRing`, the
+:class:`~repro.cluster.node.DataNode` instances, and the invariant the
+whole design rests on — **every live replica of a shard holds
+bit-identical state**.  Ingestion routes each row's full dimension tuple
+to one shard (:func:`~repro.cluster.hashring.shard_of`) and feeds the
+identical row subset, in the identical order, to every live owner;
+rebalance and failure repair move shards as bit-exact snapshots.  Any
+replica can therefore serve any of its shards and the broker's answer
+does not depend on which one it picked — the property the failover
+correctness gate in ``benchmarks/bench_cluster_scaling.py`` checks.
+
+Membership operations:
+
+* :meth:`add_node` — join a node and rebalance: the consistent-hash ring
+  reassigns ~``K/N`` of ``K`` shards, which are copied from a surviving
+  owner; shards no longer owned are dropped.
+* :meth:`remove_node` — graceful decommission: departing shards are
+  copied off first, then the node leaves.
+* :meth:`fail_node` — crash simulation: the node stops answering;
+  with ``repair=True`` (the default) surviving replicas re-replicate the
+  dead node's shards so every shard returns to ``replication`` live
+  owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import ClusterError, QueryError
+from ..druid.aggregators import (AggregatorFactory, MomentsSketchAggregator)
+from .hashring import DEFAULT_VNODES, HashRing, shard_of
+from .node import DataNode
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one membership change physically moved."""
+
+    copied_shards: int
+    dropped_shards: int
+    bytes_copied: int
+
+
+@dataclass
+class ClusterStatus:
+    """Introspection snapshot for CLI / examples."""
+
+    nodes: dict[str, dict] = field(default_factory=dict)
+    num_shards: int = 0
+    replication: int = 0
+
+    def to_dict(self) -> dict:
+        return {"num_shards": self.num_shards,
+                "replication": self.replication, "nodes": self.nodes}
+
+
+class ClusterCoordinator:
+    """Simulated multi-node cluster over the Druid-style roll-up path.
+
+    Parameters
+    ----------
+    dimensions, aggregators, granularity, packed_moments:
+        Passed through to every node's per-shard engines (same contract
+        as :class:`~repro.druid.DruidEngine`).
+    num_shards:
+        Fixed shard count; each dimension tuple hashes to one shard, so
+        a cell's replicas colocate and group-bys stay node-local.
+    replication:
+        Live copies kept per shard (>= 2 survives single-node failure).
+    """
+
+    def __init__(self, dimensions: Sequence[str],
+                 aggregators: Mapping[str, AggregatorFactory],
+                 num_shards: int = 64, replication: int = 2,
+                 granularity: float = 3600.0, packed_moments: bool = True,
+                 vnodes: int = DEFAULT_VNODES,
+                 nodes: Sequence[str] = ()):
+        if not dimensions:
+            raise QueryError("need at least one dimension")
+        if int(num_shards) < 1:
+            raise ClusterError(f"num_shards must be >= 1, got {num_shards}")
+        self.dimensions = tuple(dimensions)
+        self.aggregators = dict(aggregators)
+        self.num_shards = int(num_shards)
+        self.replication = int(replication)
+        self.granularity = float(granularity)
+        self.packed_moments = bool(packed_moments)
+        self.packed_names = frozenset(
+            name for name, factory in self.aggregators.items()
+            if packed_moments and isinstance(factory, MomentsSketchAggregator))
+        self.ring = HashRing(replication=replication, vnodes=vnodes)
+        self.nodes: dict[str, DataNode] = {}
+        self.last_rebalance: RebalanceReport | None = None
+        for node_id in nodes:
+            self.add_node(node_id)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def live_nodes(self) -> tuple[str, ...]:
+        return tuple(node_id for node_id, node in self.nodes.items()
+                     if node.alive)
+
+    def shard_map(self) -> dict[int, tuple[str, ...]]:
+        """Current shard -> owner placement from the ring."""
+        return self.ring.placement(self.num_shards)
+
+    def live_owners(self, shard: int) -> tuple[str, ...]:
+        """The shard's owners that are currently answering."""
+        return tuple(node_id for node_id in self.ring.owners(shard)
+                     if self.nodes[node_id].alive)
+
+    def shard_of_key(self, key: tuple) -> int:
+        """The shard a dimension tuple routes to."""
+        return shard_of(key, self.num_shards)
+
+    @property
+    def num_cells(self) -> int:
+        """Distinct cells across the cluster (each shard counted once)."""
+        total = 0
+        for shard in range(self.num_shards):
+            holder = self._live_holder(shard)
+            if holder is not None:
+                total += holder.shards[shard].num_cells
+        return total
+
+    def status(self) -> ClusterStatus:
+        placement = self.shard_map()
+        per_node: dict[str, dict] = {}
+        for node_id, node in self.nodes.items():
+            per_node[node_id] = {
+                "alive": node.alive,
+                "shards": len([s for s, owners in placement.items()
+                               if node_id in owners]),
+                "cells": node.num_cells,
+            }
+        return ClusterStatus(nodes=per_node, num_shards=self.num_shards,
+                             replication=self.replication)
+
+    # ------------------------------------------------------------------
+    # Membership changes
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id: str) -> DataNode:
+        """Join a node and rebalance shards onto it (minimal movement)."""
+        node_id = str(node_id)
+        if node_id in self.nodes:
+            raise ClusterError(f"node {node_id!r} already in the cluster")
+        self.nodes[node_id] = DataNode(
+            node_id, self.dimensions, self.aggregators,
+            granularity=self.granularity, packed_moments=self.packed_moments)
+        self.ring.add_node(node_id)
+        self.last_rebalance = self._rebalance()
+        return self.nodes[node_id]
+
+    def remove_node(self, node_id: str) -> RebalanceReport:
+        """Decommission a node: data copied off first if it is live,
+        plain cleanup if it already failed (and left the ring)."""
+        node = self._node(node_id)
+        if node.alive and len(self.live_nodes) <= 1:
+            raise ClusterError("cannot remove the last live node")
+        if node_id in self.ring:
+            self.ring.remove_node(node_id)
+        report = self._rebalance()
+        self.nodes.pop(node_id, None)
+        node.shards.clear()
+        self.last_rebalance = report
+        return report
+
+    def fail_node(self, node_id: str, repair: bool = True
+                  ) -> RebalanceReport | None:
+        """Crash a node.  With ``repair`` (default) surviving replicas
+        re-replicate its shards so every shard keeps ``replication`` live
+        owners; without it the cluster serves degraded from the remaining
+        replicas (answers are unchanged either way — replicas are
+        bit-identical)."""
+        node = self._node(node_id)
+        if node.alive and len(self.live_nodes) <= 1:
+            raise ClusterError("cannot fail the last live node")
+        node.fail()
+        if not repair:
+            return None
+        if node_id in self.ring:
+            self.ring.remove_node(node_id)
+        self.last_rebalance = self._rebalance()
+        return self.last_rebalance
+
+    def restore_node(self, node_id: str) -> RebalanceReport:
+        """Bring a failed node back, resynced from its live peers.
+
+        A node that was down may have missed ingests (and, if it was
+        repaired around, left the ring), so naively flipping it alive
+        would violate the replicas-are-bit-identical invariant.  This
+        anti-entropy path refreshes every shard the node still holds from
+        a live peer (peers kept serving while it was down, so they are
+        authoritative; a shard with no other live copy keeps the local
+        state as the best available), rejoins the ring if needed, and
+        rebalances.
+        """
+        node = self._node(node_id)
+        node.restore()
+        for shard in list(node.shards):
+            source = self._live_holder(shard, exclude=node_id)
+            if source is not None:
+                node.import_shard(source.export_shard(shard))
+        if node_id not in self.ring:
+            self.ring.add_node(node_id)
+        self.last_rebalance = self._rebalance()
+        return self.last_rebalance
+
+    def _node(self, node_id: str) -> DataNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ClusterError(f"unknown node {node_id!r}; "
+                               f"have {sorted(self.nodes)}") from None
+
+    def _live_holder(self, shard: int, exclude: str | None = None
+                     ) -> DataNode | None:
+        """Any live node physically holding the shard's data."""
+        for node_id in self.ring.owners(shard):
+            node = self.nodes[node_id]
+            if node.alive and node_id != exclude and shard in node.shards:
+                return node
+        # Owners may not have the data yet mid-rebalance; fall back to a
+        # full scan so repair never loses a reachable copy.
+        for node_id, node in self.nodes.items():
+            if node.alive and node_id != exclude and shard in node.shards:
+                return node
+        return None
+
+    def _rebalance(self) -> RebalanceReport:
+        """Make physical shard placement match the ring's ownership."""
+        copied = dropped = bytes_copied = 0
+        placement = self.ring.placement(self.num_shards)
+        for shard, owners in placement.items():
+            source = self._live_holder(shard)
+            if source is not None:
+                for node_id in owners:
+                    target = self.nodes[node_id]
+                    if not target.alive or shard in target.shards:
+                        continue
+                    # One snapshot per target: import_shard installs the
+                    # snapshot's segments directly, so sharing one across
+                    # targets would alias mutable state between replicas.
+                    snapshot = source.export_shard(shard)
+                    target.import_shard(snapshot)
+                    copied += 1
+                    bytes_copied += snapshot.size_bytes()
+            for node_id, node in self.nodes.items():
+                if node_id not in owners and node.alive \
+                        and shard in node.shards:
+                    node.drop_shard(shard)
+                    dropped += 1
+        return RebalanceReport(copied_shards=copied, dropped_shards=dropped,
+                               bytes_copied=bytes_copied)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, timestamps: np.ndarray,
+               dimension_columns: Sequence[np.ndarray],
+               values: np.ndarray) -> None:
+        """Route rows to shard owners and roll up on every live replica.
+
+        Rows are assigned to shards by hashing their full dimension
+        tuple, so all rows of a cell land on the same shard.  Each owner
+        receives the identical row subset in the identical original
+        order, which (with the roll-up path's stable sort) keeps replica
+        states bit-for-bit equal.
+        """
+        if not self.live_nodes:
+            raise ClusterError("the cluster has no live nodes")
+        if len(dimension_columns) != len(self.dimensions):
+            raise QueryError(
+                f"expected {len(self.dimensions)} dimension columns")
+        timestamps = np.asarray(timestamps, dtype=float)
+        values = np.asarray(values, dtype=float)
+        columns = [np.asarray(col) for col in dimension_columns]
+        shards = self.shard_ids(columns)
+        for shard in np.unique(shards):
+            mask = shards == shard
+            subset_ts = timestamps[mask]
+            subset_cols = [col[mask] for col in columns]
+            subset_values = values[mask]
+            owners = self.live_owners(int(shard))
+            if not owners:
+                raise ClusterError(
+                    f"shard {int(shard)} has no live owners")
+            for node_id in owners:
+                self.nodes[node_id].ingest_shard(
+                    int(shard), subset_ts, subset_cols, subset_values)
+
+    def shard_ids(self, dimension_columns: Sequence[np.ndarray]) -> np.ndarray:
+        """Per-row shard ids, hashing once per distinct dimension tuple."""
+        columns = [np.asarray(col) for col in dimension_columns]
+        n = columns[0].shape[0]
+        order = np.lexsort(tuple(reversed(columns)))
+        sorted_cols = [col[order] for col in columns]
+        boundary = np.zeros(n, dtype=bool)
+        boundary[0] = True
+        for col in sorted_cols:
+            boundary[1:] |= col[1:] != col[:-1]
+        starts = np.flatnonzero(boundary)
+        ends = np.append(starts[1:], n)
+        shards_sorted = np.empty(n, dtype=np.intp)
+        for start, end in zip(starts, ends):
+            key = tuple(col[start] for col in sorted_cols)
+            shards_sorted[start:end] = shard_of(key, self.num_shards)
+        shards = np.empty(n, dtype=np.intp)
+        shards[order] = shards_sorted
+        return shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ClusterCoordinator(nodes={len(self.nodes)}, "
+                f"shards={self.num_shards}, "
+                f"replication={self.replication})")

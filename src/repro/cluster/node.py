@@ -1,0 +1,236 @@
+"""Data nodes: per-shard storage and node-local partial aggregation.
+
+A :class:`DataNode` owns one miniature :class:`~repro.druid.DruidEngine`
+per shard it hosts, so ingestion runs through the *existing* Druid-style
+roll-up path (time-bucketed cells, packed per-segment
+:class:`~repro.store.PackedSketchStore` rows for moments aggregators)
+and node-local scans reuse the engine's packed vectorized reductions.
+Shard engines run with ``processing_threads=1``: parallelism in the
+cluster comes from the broker fanning out *across nodes*, and a
+single-threaded node-local fold keeps every shard partial a strict left
+fold — which is what makes replicas interchangeable bit-for-bit.
+
+The unit of replication and rebalance is the shard snapshot
+(:meth:`DataNode.export_shard` / :meth:`DataNode.import_shard`): packed
+sketch stores travel through their binary wire format (exact float64
+round trip) and object-layout aggregator states are copied, so a replica
+reconstructed on another node answers every query with the identical
+bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import ClusterError
+from ..druid.aggregators import AggregatorFactory, AggregatorState
+from ..druid.engine import DruidEngine, Segment
+from ..store import PackedSketchStore
+
+
+@dataclass
+class ShardPartial:
+    """One shard's merged partial state for a scatter-gather query."""
+
+    shard: int
+    state: AggregatorState
+    cells_scanned: int
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of the partial (the ~200-byte payload)."""
+        summary = getattr(self.state, "summary", None)
+        if summary is not None and hasattr(summary, "size_bytes"):
+            return int(summary.size_bytes())
+        return 8
+
+
+@dataclass
+class ShardSnapshot:
+    """A transferable bit-exact copy of one shard's engine state."""
+
+    shard: int
+    segments: list[Segment]
+
+    def size_bytes(self) -> int:
+        """Serialized footprint of the snapshot's packed stores."""
+        return sum(store.size_bytes()
+                   for segment in self.segments
+                   for store in segment.packed.values())
+
+
+def _clone_segment(segment: Segment) -> Segment:
+    """Deep, bit-exact copy of a segment (states copied, stores re-read
+    through the binary wire format)."""
+    out = Segment(chunk=segment.chunk)
+    out.cells = {key: {name: state.copy() for name, state in cell.items()}
+                 for key, cell in segment.cells.items()}
+    out.packed = {name: PackedSketchStore.from_bytes(store.to_bytes())
+                  for name, store in segment.packed.items()}
+    out.packed_rows = {name: dict(rows)
+                       for name, rows in segment.packed_rows.items()}
+    return out
+
+
+class DataNode:
+    """One simulated cluster node hosting a set of shards.
+
+    Parameters mirror :class:`~repro.druid.DruidEngine`; every hosted
+    shard gets its own engine built from the shared aggregator factories.
+    """
+
+    def __init__(self, node_id: str, dimensions: Sequence[str],
+                 aggregators: Mapping[str, AggregatorFactory],
+                 granularity: float = 3600.0, packed_moments: bool = True):
+        self.node_id = str(node_id)
+        self.dimensions = tuple(dimensions)
+        self.aggregators = dict(aggregators)
+        self.granularity = float(granularity)
+        self.packed_moments = bool(packed_moments)
+        self.alive = True
+        self.shards: dict[int, DruidEngine] = {}
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+    # ------------------------------------------------------------------
+
+    def _shard_engine(self, shard: int) -> DruidEngine:
+        engine = self.shards.get(shard)
+        if engine is None:
+            engine = DruidEngine(dimensions=self.dimensions,
+                                 aggregators=self.aggregators,
+                                 granularity=self.granularity,
+                                 processing_threads=1,
+                                 packed_moments=self.packed_moments)
+            self.shards[shard] = engine
+        return engine
+
+    @property
+    def owned_shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self.shards))
+
+    @property
+    def num_cells(self) -> int:
+        return sum(engine.num_cells for engine in self.shards.values())
+
+    def drop_shard(self, shard: int) -> None:
+        self.shards.pop(shard, None)
+
+    def export_shard(self, shard: int) -> ShardSnapshot:
+        """Snapshot a hosted shard for replication / rebalance."""
+        engine = self.shards.get(shard)
+        if engine is None:
+            raise ClusterError(
+                f"node {self.node_id!r} does not host shard {shard}")
+        return ShardSnapshot(
+            shard=shard,
+            segments=[_clone_segment(segment)
+                      for segment in engine.segments.values()])
+
+    def import_shard(self, snapshot: ShardSnapshot) -> None:
+        """Install a snapshot, replacing any existing copy of the shard."""
+        engine = DruidEngine(dimensions=self.dimensions,
+                             aggregators=self.aggregators,
+                             granularity=self.granularity,
+                             processing_threads=1,
+                             packed_moments=self.packed_moments)
+        for segment in snapshot.segments:
+            engine.segments[segment.chunk] = segment
+        self.shards[snapshot.shard] = engine
+
+    # ------------------------------------------------------------------
+    # Failure simulation
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Simulate a crash: the node stops answering until restored."""
+        self.alive = False
+
+    def restore(self) -> None:
+        """Low-level revive (simulation only): flips the node alive
+        without resyncing state.  Use
+        :meth:`~repro.cluster.coordinator.ClusterCoordinator.restore_node`
+        to rejoin a cluster safely — a node that missed ingests while
+        down would otherwise serve stale answers."""
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise ClusterError(f"node {self.node_id!r} is down")
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest_shard(self, shard: int, timestamps: np.ndarray,
+                     dimension_columns: Sequence[np.ndarray],
+                     values: np.ndarray) -> None:
+        """Roll rows of one shard up through the standard Druid path."""
+        self._check_alive()
+        self._shard_engine(shard).ingest(timestamps, dimension_columns, values)
+
+    # ------------------------------------------------------------------
+    # Node-local scatter work
+    # ------------------------------------------------------------------
+
+    def shard_partials(self, aggregator: str, shards: Sequence[int],
+                       filters: Mapping[str, object] | None = None,
+                       interval: tuple[float, float] | None = None
+                       ) -> list[ShardPartial]:
+        """One merged partial per requested shard with matching cells.
+
+        Packed moments aggregators reduce each shard's matching rows with
+        vectorized per-segment ``batch_merge`` calls; other aggregators
+        fold their object states.  Either way a shard's partial is a
+        strict left fold over its cells in ingestion order, so it does
+        not depend on which replica computed it.
+        """
+        self._check_alive()
+        partials: list[ShardPartial] = []
+        for shard in shards:
+            engine = self.shards.get(shard)
+            if engine is None:
+                continue
+            if aggregator in engine._packed_names:
+                refs = engine._matching_packed_rows(aggregator, filters,
+                                                    interval)
+                if not refs:
+                    continue
+                scanned = sum(rows.size for _, rows in refs)
+                # The same fold DruidBackend.rollup runs on a flat
+                # engine, which is what keeps shard partials bit-exact
+                # with shard-aligned single-process execution.
+                sketch = DruidEngine.fold_packed_refs(refs)
+                state = engine._wrap_packed(aggregator, sketch)
+            else:
+                states = engine._matching_states(aggregator, filters, interval)
+                if not states:
+                    continue
+                scanned = len(states)
+                state = engine._merge_states(states)
+            partials.append(ShardPartial(shard=shard, state=state,
+                                         cells_scanned=scanned))
+        return partials
+
+    def group_partials(self, aggregator: str, shards: Sequence[int],
+                       dimension: str,
+                       filters: Mapping[str, object] | None = None
+                       ) -> list[tuple[int, dict, int]]:
+        """Per-shard grouped partials: (shard, {value: state}, cells)."""
+        self._check_alive()
+        out: list[tuple[int, dict, int]] = []
+        for shard in shards:
+            engine = self.shards.get(shard)
+            if engine is None:
+                continue
+            groups = engine.group_states(aggregator, dimension, filters)
+            if groups:
+                out.append((shard, groups, engine.num_cells))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.alive else "down"
+        return (f"DataNode({self.node_id!r}, shards={len(self.shards)}, "
+                f"cells={self.num_cells}, {state})")

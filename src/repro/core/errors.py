@@ -56,3 +56,7 @@ class DatasetError(ReproError):
 
 class QueryError(ReproError):
     """Malformed query against the cube / engine layers."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster topology operation or unroutable shard."""

@@ -241,6 +241,24 @@ class DruidEngine:
                 refs.append((store, matching))
         return refs
 
+    @staticmethod
+    def fold_packed_refs(refs: list[tuple[PackedSketchStore, np.ndarray]]
+                         ) -> MomentsSketch | None:
+        """Left-fold per-segment packed reductions (``None`` if empty).
+
+        The one fold order shared by the broker adapter and the cluster
+        layer's per-shard partials: each segment's rows reduce with one
+        vectorized ``batch_merge`` and the per-segment partials merge
+        sequentially in ``refs`` order.  Bit-exactness guarantees across
+        those layers depend on both using exactly this fold.
+        """
+        if not refs:
+            return None
+        sketch = refs[0][0].batch_merge(refs[0][1])
+        for store, rows in refs[1:]:
+            sketch.merge(store.batch_merge(rows))
+        return sketch
+
     def _wrap_packed(self, aggregator: str, sketch: MomentsSketch
                      ) -> AggregatorState:
         """Wrap a merged sketch in the aggregator's state type."""
@@ -384,14 +402,14 @@ def top_n_by_quantile(engine: DruidEngine, aggregator: str, dimension: str,
     return [(value, estimate) for value, estimate in (response.top or [])]
 
 
-def _quantile_bracket(sketch, phi: float, bound_fn) -> tuple[float, float]:
-    """[lower, upper] interval guaranteed to contain the phi-quantile.
+def _quantile_bracket(sketch, q: float, bound_fn) -> tuple[float, float]:
+    """[lower, upper] interval guaranteed to contain the q-quantile.
 
     Bisects on the threshold t: F(t) bounds from the moment inequalities
-    tell us whether the phi-quantile must lie above or below t.
+    tell us whether the q-quantile must lie above or below t.
     """
     lo, hi = sketch.min, sketch.max
-    target = phi * sketch.count
+    target = q * sketch.count
     for _ in range(20):
         mid = 0.5 * (lo + hi)
         bounds = bound_fn(sketch, mid)

@@ -6,7 +6,8 @@ from .cells import (PHI_GRID, CellSet, PackedCellSet, build_cells,
 from .runner import (QueryTiming, run_packed_query, run_query,
                      time_estimation, time_merges)
 from .calibrate import CalibrationResult, calibrate, calibrate_all, parameter_ladders
-from .parallel import ParallelMergeResult, parallel_merge, strong_scaling, weak_scaling
+from .parallel import (ParallelMergeResult, parallel_merge,
+                       parallel_merge_packed, strong_scaling, weak_scaling)
 
 __all__ = [
     "PHI_GRID", "CellSet", "PackedCellSet", "build_cells",
@@ -14,5 +15,6 @@ __all__ = [
     "quantile_errors", "QueryTiming", "run_query", "run_packed_query",
     "time_estimation", "time_merges", "CalibrationResult", "calibrate",
     "calibrate_all", "parameter_ladders", "ParallelMergeResult",
-    "parallel_merge", "strong_scaling", "weak_scaling",
+    "parallel_merge", "parallel_merge_packed", "strong_scaling",
+    "weak_scaling",
 ]

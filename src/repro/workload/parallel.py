@@ -4,11 +4,15 @@ Shards a pre-aggregated cell set across worker threads; each worker folds
 its shard into a partial aggregate, and partials combine with a final
 sequential merge — the map/reduce aggregation plan of Section 3.2.
 
-Python threads serialize pure-Python bytecode under the GIL, but the
-summaries here spend their merge time in numpy kernels that release it, so
-scaling is observable (and, as in the paper, tapers once per-thread work
-shrinks).  The strong/weak-scaling benchmark records the same two series
-as Figures 24 and 25.
+Moments-sketch cells take the *packed* route: the cells live in (or are
+packed into) one :class:`~repro.store.PackedSketchStore`, each worker
+reduces a contiguous row slice with a single vectorized
+:meth:`~repro.store.PackedSketchStore.batch_merge` (numpy releases the
+GIL inside the reduction, so workers genuinely overlap), and the partial
+sketches fold sequentially.  Other summary types keep the object-per-cell
+loop.  Every scaling measurement also times the serial object-loop
+baseline — the pre-packed code path — and reports the speedup against
+it, so the scaling figures double as a packed-vs-loop regression check.
 """
 
 from __future__ import annotations
@@ -18,21 +22,40 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
+from ..core.sketch import MomentsSketch
+from ..store import PackedSketchStore
 from ..summaries.base import QuantileSummary
-from .cells import merge_cells
+from ..summaries.moments_summary import MomentsSummary
+from .cells import PackedCellSet, merge_cells
 
 
 @dataclass(frozen=True)
 class ParallelMergeResult:
-    """Throughput measurement for one thread count."""
+    """Throughput measurement for one thread count.
+
+    ``serial_seconds`` is the serial object-loop baseline over the same
+    merge sequence (``None`` when not measured); ``route`` records which
+    merge path produced ``seconds``.
+    """
 
     threads: int
     num_merges: int
     seconds: float
+    serial_seconds: float | None = None
+    route: str = "loop"
 
     @property
     def merges_per_second(self) -> float:
         return self.num_merges / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def speedup(self) -> float | None:
+        """Speedup over the serial object-loop baseline."""
+        if self.serial_seconds is None or self.seconds <= 0:
+            return None
+        return self.serial_seconds / self.seconds
 
 
 def parallel_merge(summaries: Sequence[QuantileSummary],
@@ -55,33 +78,122 @@ def parallel_merge(summaries: Sequence[QuantileSummary],
     return aggregate, time.perf_counter() - start
 
 
-def strong_scaling(summaries: Sequence[QuantileSummary],
-                   thread_counts: Sequence[int]) -> list[ParallelMergeResult]:
-    """Fixed total work, growing thread count (Figure 24)."""
+def parallel_merge_packed(store: PackedSketchStore, threads: int,
+                          rows: np.ndarray | None = None
+                          ) -> tuple[MomentsSketch, float]:
+    """Merge packed rows with ``threads`` workers of vectorized reductions.
+
+    Each worker runs one :meth:`~repro.store.PackedSketchStore.batch_merge`
+    over a contiguous slice of ``rows`` (which may repeat rows, e.g. for
+    weak-scaling tiling); the per-worker partial sketches then fold
+    sequentially.  Returns ``(merged sketch, seconds)``.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if rows is None:
+        rows = np.arange(len(store), dtype=np.intp)
+    else:
+        rows = np.asarray(rows, dtype=np.intp)
+    if rows.size == 0:
+        raise ValueError("nothing to merge")
+    start = time.perf_counter()
+    if threads == 1 or rows.size < 2 * threads:
+        merged = store.batch_merge(rows)
+        return merged, time.perf_counter() - start
+    shards = np.array_split(rows, threads)
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        partials = list(pool.map(store.batch_merge, shards))
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged.merge(partial)
+    return merged, time.perf_counter() - start
+
+
+def _as_packed_store(cells) -> PackedSketchStore | None:
+    """The packed store behind a cell collection, if it has one.
+
+    Accepts a :class:`PackedSketchStore`, a :class:`PackedCellSet`, or a
+    sequence of :class:`MomentsSummary` cells (packed on the fly); any
+    other summary type returns ``None`` and keeps the object loop.
+    """
+    if isinstance(cells, PackedSketchStore):
+        return cells
+    if isinstance(cells, PackedCellSet):
+        return cells.store
+    if (isinstance(cells, Sequence) and len(cells) > 0
+            and all(isinstance(cell, MomentsSummary) for cell in cells)):
+        return PackedSketchStore.from_sketches(
+            [cell.sketch for cell in cells])
+    return None
+
+
+def _serial_loop_seconds(store: PackedSketchStore,
+                         rows: np.ndarray) -> float:
+    """Time the pre-packed baseline: a sequential object-merge loop."""
+    sketches = store.sketches(copy=False)
+    start = time.perf_counter()
+    aggregate = sketches[rows[0]].copy()
+    for row in rows[1:]:
+        aggregate.merge(sketches[row])
+    return time.perf_counter() - start
+
+
+def strong_scaling(cells, thread_counts: Sequence[int]
+                   ) -> list[ParallelMergeResult]:
+    """Fixed total work, growing thread count (Figure 24).
+
+    Moments cells run the packed vectorized route with the serial
+    object-loop baseline attached (``result.speedup``); other summary
+    types fall back to the object loop at every thread count.
+    """
+    store = _as_packed_store(cells)
     results = []
+    if store is not None:
+        rows = np.arange(len(store), dtype=np.intp)
+        serial = _serial_loop_seconds(store, rows)
+        for threads in thread_counts:
+            _, seconds = parallel_merge_packed(store, threads, rows)
+            results.append(ParallelMergeResult(
+                threads=threads, num_merges=len(store) - 1, seconds=seconds,
+                serial_seconds=serial, route="packed"))
+        return results
+    serial: float | None = None
     for threads in thread_counts:
-        _, seconds = parallel_merge(summaries, threads)
+        _, seconds = parallel_merge(cells, threads)
+        if serial is None:
+            serial = seconds if threads == 1 else None
         results.append(ParallelMergeResult(
-            threads=threads, num_merges=len(summaries) - 1, seconds=seconds))
+            threads=threads, num_merges=len(cells) - 1, seconds=seconds,
+            serial_seconds=serial, route="loop"))
     return results
 
 
-def weak_scaling(summaries: Sequence[QuantileSummary],
-                 thread_counts: Sequence[int],
+def weak_scaling(cells, thread_counts: Sequence[int],
                  merges_per_thread: int) -> list[ParallelMergeResult]:
     """Fixed per-thread work, growing total (Figure 25).
 
     The cell list is tiled if a thread count requires more summaries than
-    supplied.
+    supplied.  Moments cells run the packed route (tiled row indices into
+    one store) with the serial object-loop baseline attached.
     """
+    store = _as_packed_store(cells)
     results = []
     for threads in thread_counts:
         needed = merges_per_thread * threads
-        pool_cells = list(summaries)
+        if store is not None:
+            rows = np.arange(needed, dtype=np.intp) % len(store)
+            serial = _serial_loop_seconds(store, rows)
+            _, seconds = parallel_merge_packed(store, threads, rows)
+            results.append(ParallelMergeResult(
+                threads=threads, num_merges=needed - 1, seconds=seconds,
+                serial_seconds=serial, route="packed"))
+            continue
+        pool_cells = list(cells)
         while len(pool_cells) < needed:
-            pool_cells.extend(summaries)
+            pool_cells.extend(cells)
         subset = pool_cells[:needed]
         _, seconds = parallel_merge(subset, threads)
         results.append(ParallelMergeResult(
-            threads=threads, num_merges=needed - 1, seconds=seconds))
+            threads=threads, num_merges=needed - 1, seconds=seconds,
+            route="loop"))
     return results

@@ -171,3 +171,37 @@ class TestDatasetCommands:
         code, result = run_cli(capsys, "datasets", "stats", "nope")
         assert code == 1
         assert "DatasetError" in result["error"]
+
+
+class TestClusterCommands:
+    def test_demo_bit_exact_failover(self, capsys):
+        code, result = run_cli(capsys, "cluster", "demo",
+                               "--rows", "8000", "--nodes", "3",
+                               "--shards", "8", "--cells", "40")
+        assert code == 0
+        assert result["matches_single_process"] is True
+        assert result["failover"]["answers_unchanged"] is True
+        assert result["failover"]["repaired"] is True
+        assert result["failover"]["rebalance"]["copied_shards"] >= 0
+        assert set(result["timings"]) == {"route_seconds", "scatter_seconds",
+                                          "merge_seconds", "solve_seconds"}
+        assert result["topology"]["cells"] == 40
+
+    def test_demo_no_repair_serves_degraded(self, capsys):
+        code, result = run_cli(capsys, "cluster", "demo",
+                               "--rows", "5000", "--nodes", "3",
+                               "--shards", "8", "--cells", "25",
+                               "--no-repair", "--kill", "node-0",
+                               "--q", "0.9")
+        assert code == 0
+        assert result["failover"]["killed"] == "node-0"
+        assert result["failover"]["answers_unchanged"] is True
+        assert result["failover"]["rebalance"] is None
+        assert list(result["quantiles"]) == ["0.9"]
+
+    def test_placement_reports_movement(self, capsys):
+        code, result = run_cli(capsys, "cluster", "placement",
+                               "--nodes", "4", "--shards", "64")
+        assert code == 0
+        assert sum(result["primary_shards_per_node"].values()) == 64
+        assert 0 < result["moved_fraction"] < 1

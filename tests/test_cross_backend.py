@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.api import QueryService, QuerySpec, qkey
+from repro.cluster import ClusterCoordinator
 from repro.datacube import CubeSchema, DataCube
 from repro.druid import DruidEngine, MomentsSketchAggregator
 from repro.summaries.moments_summary import MomentsSummary
@@ -129,3 +130,59 @@ class TestCrossBackendEquivalence:
         assert results["cube"] == results["druid"] == results["packed_keyed"]
         assert len(results["cube"]) == data.size // CELL
         assert cell_ids.max() + 1 == len(results["cube"])
+
+
+class TestClusterBitExactness:
+    """ClusterBackend vs DruidBackend on the same data, bit for bit.
+
+    The broker folds per-shard partials in ascending shard order; a
+    single-process engine whose time chunks coincide with the cluster's
+    shards folds per-segment partials in the same order, so the two
+    answers must match exactly — including after a node failure, because
+    replicas are bit-identical and shard partials are replica-independent.
+    """
+
+    @pytest.fixture(scope="class")
+    def pair(self, data):
+        cell_ids = np.arange(data.size) // CELL
+        cluster = ClusterCoordinator(
+            dimensions=("cell",),
+            aggregators={"m": MomentsSketchAggregator(k=K)},
+            num_shards=16, replication=2, granularity=1.0,
+            nodes=["n0", "n1", "n2", "n3"])
+        # Shard-aligned time chunks: reference segments == cluster shards.
+        timestamps = cluster.shard_ids([cell_ids]).astype(float)
+        cluster.ingest(timestamps, [cell_ids], data)
+        engine = DruidEngine(dimensions=("cell",),
+                             aggregators={"m": MomentsSketchAggregator(k=K)},
+                             granularity=1.0, processing_threads=1)
+        engine.ingest(timestamps, [cell_ids], data)
+        return cluster, QueryService(cluster=cluster, druid=engine)
+
+    def test_rollup_bit_exact(self, pair, data):
+        _, service = pair
+        spec = QuerySpec(kind="quantile", quantiles=(0.1, 0.5, 0.9, 0.99),
+                         report_moments=True)
+        ours = service.execute(spec, backend="cluster")
+        theirs = service.execute(spec, backend="druid")
+        assert ours.moments == theirs.moments
+        assert ours.estimates == theirs.estimates
+        assert ours.count == theirs.count == data.size
+        assert ours.route == theirs.route == "packed"
+
+    def test_group_by_bit_exact(self, pair):
+        _, service = pair
+        spec = QuerySpec(kind="group_by", quantiles=(0.9,),
+                         group_dimension="cell")
+        assert (service.execute(spec, backend="cluster").groups
+                == service.execute(spec, backend="druid").groups)
+
+    def test_rollup_bit_exact_after_node_failure(self, pair):
+        cluster, service = pair
+        spec = QuerySpec(kind="quantile", quantiles=(0.5, 0.99),
+                         report_moments=True)
+        theirs = service.execute(spec, backend="druid")
+        cluster.fail_node("n3", repair=True)
+        ours = service.execute(spec, backend="cluster")
+        assert ours.moments == theirs.moments
+        assert ours.estimates == theirs.estimates

@@ -12,6 +12,7 @@ from repro.workload import (
     mean_error,
     merge_cells,
     parallel_merge,
+    parallel_merge_packed,
     parameter_ladders,
     quantile_errors,
     run_packed_query,
@@ -135,11 +136,57 @@ class TestParallel:
         results = strong_scaling(summaries, [1, 2])
         assert [r.threads for r in results] == [1, 2]
         assert all(r.merges_per_second > 0 for r in results)
+        assert all(r.route == "loop" for r in results)  # Merge12 cells
 
     def test_weak_scaling_work_grows(self, summaries):
         results = weak_scaling(summaries, [1, 2], merges_per_thread=50)
         assert results[0].num_merges == 49
         assert results[1].num_merges == 99
+
+
+class TestParallelPacked:
+    @pytest.fixture(scope="class")
+    def cells(self, dataset):
+        return build_packed_cells(dataset, cell_size=200, k=8)
+
+    def test_packed_matches_serial_object_fold(self, cells):
+        merged, _ = parallel_merge_packed(cells.store, threads=1)
+        reference = merge_cells(cells.summaries)
+        assert merged.count == reference.sketch.count
+        assert np.array_equal(merged.power_sums, reference.sketch.power_sums)
+
+    def test_threaded_partials_agree(self, cells):
+        serial, _ = parallel_merge_packed(cells.store, threads=1)
+        threaded, _ = parallel_merge_packed(cells.store, threads=4)
+        assert threaded.count == serial.count
+        assert threaded.min == serial.min and threaded.max == serial.max
+        assert np.allclose(threaded.power_sums, serial.power_sums,
+                           rtol=1e-12)
+
+    def test_validation(self, cells):
+        with pytest.raises(ValueError):
+            parallel_merge_packed(cells.store, threads=0)
+        with pytest.raises(ValueError):
+            parallel_merge_packed(cells.store, threads=1,
+                                  rows=np.array([], dtype=np.intp))
+
+    def test_moments_scaling_takes_packed_route(self, cells, dataset):
+        # PackedCellSet, bare store, and object moments cells all route
+        # through the vectorized path with a serial baseline attached.
+        for source in (cells, cells.store,
+                       build_cells(dataset[:4000],
+                                   lambda: MomentsSummary(k=8),
+                                   200).summaries):
+            results = strong_scaling(source, [1, 2])
+            assert all(r.route == "packed" for r in results)
+            assert all(r.serial_seconds is not None for r in results)
+            assert all(r.speedup is not None for r in results)
+
+    def test_weak_scaling_packed_tiles_rows(self, cells):
+        results = weak_scaling(cells, [1, 2], merges_per_thread=50)
+        assert [r.num_merges for r in results] == [49, 99]
+        assert all(r.route == "packed" for r in results)
+        assert all(r.speedup is not None for r in results)
 
 
 class TestPackedCells:
