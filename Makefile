@@ -1,13 +1,14 @@
 # Test and benchmark entry points.  `make test` is the CI gate: byte
 # compilation, tier-1 tests, plus smoke runs of the packed-merge,
-# batched-query, and cluster-scaling benchmarks, which fail on any
-# packed-vs-loop divergence, broken scan sharing, or cluster answers
-# that are not bit-exact across topologies and failovers.
+# batched-query, cluster-scaling, and ingestion benchmarks, which fail
+# on any packed-vs-loop divergence, broken scan sharing, cluster answers
+# that are not bit-exact across topologies and failovers, non-idempotent
+# batch replay, or a columnar ingest speedup below 5x.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-merge bench-batch bench-cluster bench
+.PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench
 
 test:
 	$(PYTHON) -m compileall -q src
@@ -15,6 +16,7 @@ test:
 	$(PYTHON) benchmarks/bench_batch_merge.py --quick
 	$(PYTHON) benchmarks/bench_execute_batch.py --quick
 	$(PYTHON) benchmarks/bench_cluster_scaling.py --quick
+	$(PYTHON) benchmarks/bench_ingest.py --quick
 
 bench-merge:
 	$(PYTHON) benchmarks/bench_batch_merge.py --require-speedup 10
@@ -24,6 +26,9 @@ bench-batch:
 
 bench-cluster:
 	$(PYTHON) benchmarks/bench_cluster_scaling.py --require-scaling
+
+bench-ingest:
+	$(PYTHON) benchmarks/bench_ingest.py --require-speedup 5
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

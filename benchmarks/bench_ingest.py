@@ -1,0 +1,168 @@
+"""Micro-batched columnar ingestion vs row-at-a-time legacy ingest.
+
+Measures what :class:`repro.ingest.IngestSession` buys on the write
+path: rows buffered in a structure-of-arrays
+:class:`~repro.ingest.WriteBuffer` and flushed as vectorized
+micro-batches (one lexsort + one shared-Vandermonde
+``batch_accumulate`` per flush) against the same rows pushed through
+the legacy entry point one row at a time — the per-call interpreter
+overhead the unified API removes.  The run also enforces the PR's two
+correctness gates:
+
+* **bit-exact equivalence** — the same batch through the legacy
+  entry point and through a session produces identical merged moments
+  (and therefore identical QuerySpec answers);
+* **idempotent cluster replay** — a replayed sequence-stamped batch is
+  a no-op on every replica, before and after a failover repair.
+
+Usage::
+
+    python benchmarks/bench_ingest.py                    # full size
+    python benchmarks/bench_ingest.py --quick            # CI smoke
+    python benchmarks/bench_ingest.py --require-speedup 5
+
+Exits non-zero on any equivalence/idempotency violation or if the
+columnar path is not at least ``--require-speedup`` times faster
+(default 5x) than row-at-a-time ingestion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from any working directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import QueryService, QuerySpec  # noqa: E402
+from repro.cluster import ClusterCoordinator  # noqa: E402
+from repro.datacube import CubeSchema, DataCube  # noqa: E402
+from repro.druid import MomentsSketchAggregator  # noqa: E402
+from repro.ingest import (IngestSession, as_write_backend,  # noqa: E402
+                          make_batch)
+from repro.summaries.moments_summary import MomentsSummary  # noqa: E402
+
+MOMENTS_SPEC = QuerySpec(kind="quantile", quantiles=(0.5, 0.99),
+                         report_moments=True)
+
+
+def fresh_cube(k: int = 10) -> DataCube:
+    return DataCube(CubeSchema(("tenant",)), lambda: MomentsSummary(k=k))
+
+
+def moments_of(target) -> dict:
+    return QueryService(t=target).execute(MOMENTS_SPEC).moments
+
+
+def bench_columnar(values: np.ndarray, tenants: np.ndarray,
+                   flush_rows: int) -> float:
+    """Rows/second through a micro-batched columnar session."""
+    cube = fresh_cube()
+    start = time.perf_counter()
+    with IngestSession(cube, flush_rows=flush_rows) as session:
+        step = max(flush_rows // 4, 1)
+        for lo in range(0, values.size, step):
+            session.append_columns(values[lo:lo + step],
+                                   dims=[tenants[lo:lo + step]])
+    elapsed = time.perf_counter() - start
+    assert session.total_rows == values.size
+    return values.size / elapsed
+
+
+def bench_row_at_a_time(values: np.ndarray, tenants: np.ndarray) -> float:
+    """Rows/second through the legacy entry point, one row per call."""
+    cube = fresh_cube()
+    start = time.perf_counter()
+    for i in range(values.size):
+        cube.ingest([tenants[i:i + 1]], values[i:i + 1])
+    elapsed = time.perf_counter() - start
+    return values.size / elapsed
+
+
+def check_equivalence(values: np.ndarray, tenants: np.ndarray) -> bool:
+    """Same batch, legacy vs session: merged moments must be identical."""
+    legacy = fresh_cube()
+    legacy.ingest([tenants], values)
+    target = fresh_cube()
+    with IngestSession(target) as session:
+        session.append_columns(values, dims=[tenants])
+    if moments_of(target) != moments_of(legacy):
+        print("FAIL: session-ingested moments differ from legacy ingest")
+        return False
+    return True
+
+
+def check_cluster_replay(values: np.ndarray, tenants: np.ndarray) -> bool:
+    """A replayed sequence-stamped batch must be a no-op on every replica."""
+    cluster = ClusterCoordinator(
+        dimensions=("tenant",),
+        aggregators={"m": MomentsSketchAggregator(k=10)},
+        num_shards=8, replication=2, granularity=1.0,
+        nodes=["n0", "n1", "n2"])
+    timestamps = cluster.shard_ids([tenants]).astype(float)
+    backend = as_write_backend(cluster)
+    batch = make_batch(values, dims=[tenants], timestamps=timestamps,
+                       sequence=("bench", 0))
+    backend.write(batch)
+    before = moments_of(cluster)
+    replay = backend.write(batch)
+    cluster.fail_node("n2", repair=True)
+    replay_after_repair = backend.write(batch)
+    ok = True
+    if replay.replicas != 0 or replay_after_repair.replicas != 0:
+        print(f"FAIL: replayed batch applied on {replay.replicas} + "
+              f"{replay_after_repair.replicas} replicas (expected 0)")
+        ok = False
+    if moments_of(cluster) != before:
+        print("FAIL: cluster moments changed after replayed batches")
+        ok = False
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer rows")
+    parser.add_argument("--require-speedup", type=float, default=5.0,
+                        help="fail unless columnar/row-at-a-time rate "
+                             "ratio reaches this (default 5)")
+    args = parser.parse_args(argv)
+
+    n_columnar = 40_000 if args.quick else 400_000
+    n_legacy = 2_000 if args.quick else 10_000
+    flush_rows = 10_000 if args.quick else 50_000
+    tenants_cardinality = 100
+
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(1.0, 1.0, n_columnar)
+    tenants = (np.arange(n_columnar) % tenants_cardinality).astype(int)
+
+    columnar_rate = bench_columnar(values, tenants, flush_rows)
+    legacy_rate = bench_row_at_a_time(values[:n_legacy], tenants[:n_legacy])
+    speedup = columnar_rate / legacy_rate
+
+    print(f"{'path':>14} {'rows':>9} {'rows/s':>12}")
+    print(f"{'columnar':>14} {n_columnar:>9} {columnar_rate:>12.0f}")
+    print(f"{'row-at-a-time':>14} {n_legacy:>9} {legacy_rate:>12.0f}")
+    print(f"micro-batched columnar speedup: {speedup:.1f}x "
+          f"(gate: >= {args.require_speedup}x)")
+
+    ok = check_equivalence(values[:20_000], tenants[:20_000])
+    ok &= check_cluster_replay(values[:20_000], tenants[:20_000])
+    if speedup < args.require_speedup:
+        print(f"FAIL: columnar ingest speedup {speedup:.1f}x is below the "
+              f"required {args.require_speedup}x")
+        ok = False
+    if not ok:
+        return 1
+    print("OK: bit-exact vs legacy; cluster replay idempotent; "
+          "speedup gate met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

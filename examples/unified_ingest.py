@@ -1,0 +1,91 @@
+"""Unified ingestion API: one session feeding cube, Druid, and cluster.
+
+Opens a single fan-out :class:`~repro.ingest.IngestSession` over three
+write backends — a pre-aggregated data cube, a Druid-style engine, and
+a replicated scatter-gather cluster — streams the same synthetic
+telemetry through micro-batched columnar flushes, prints the per-flush
+:class:`~repro.ingest.IngestReport` objects, then closes the loop by
+running one declarative :class:`~repro.api.QuerySpec` against every
+freshly written backend.  Finishes by replaying a sequence-stamped
+batch at the cluster to show idempotent, replica-safe delivery.
+
+Run with::
+
+    PYTHONPATH=src python examples/unified_ingest.py
+"""
+
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import QuerySpec  # noqa: E402
+from repro.cluster import ClusterCoordinator  # noqa: E402
+from repro.datacube import CubeSchema, DataCube  # noqa: E402
+from repro.druid import DruidEngine, MomentsSketchAggregator  # noqa: E402
+from repro.ingest import (IngestSession, as_write_backend,  # noqa: E402
+                          make_batch)
+from repro.summaries.moments_summary import MomentsSummary  # noqa: E402
+
+
+def main() -> int:
+    rng = np.random.default_rng(0)
+    n = 120_000
+    latency_ms = rng.lognormal(3.0, 0.8, n)
+    service_col = rng.choice(["api", "web", "batch"], n)
+
+    # Three write targets, one row stream.
+    cube = DataCube(CubeSchema(("service",)), lambda: MomentsSummary(k=10))
+    engine = DruidEngine(dimensions=("service",),
+                         aggregators={"latency": MomentsSketchAggregator(k=10)},
+                         granularity=3600.0)
+    cluster = ClusterCoordinator(
+        dimensions=("service",),
+        aggregators={"latency": MomentsSketchAggregator(k=10)},
+        num_shards=16, replication=2, granularity=3600.0,
+        nodes=["node-0", "node-1", "node-2"])
+    timestamps = rng.uniform(0, 6 * 3600, n)
+
+    print("== one fan-out session, micro-batched columnar flushes ==")
+    with IngestSession([cube, engine, cluster], flush_rows=40_000,
+                       dedup_key="telemetry-0") as session:
+        for lo in range(0, n, 10_000):
+            hi = lo + 10_000
+            session.append_columns(latency_ms[lo:hi],
+                                   dims=[service_col[lo:hi]],
+                                   timestamps=timestamps[lo:hi])
+    for report in session.reports:
+        print(f"flush {report.flush_index}: {report.rows} rows -> "
+              f"{report.cells} cells [{report.trigger}] "
+              f"route={report.route_seconds * 1e3:.2f}ms "
+              f"pack={report.pack_seconds * 1e3:.2f}ms "
+              f"seq={report.sequence}")
+
+    print("\n== immediately queryable: one spec, three backends ==")
+    service = session.query_service()
+    spec = QuerySpec(kind="quantile", quantiles=(0.5, 0.99),
+                     filters={"service": "api"})
+    for name in service.backends:
+        response = service.execute(spec, backend=name)
+        print(f"{name:>8}: p50={response.estimates['0.5']:8.3f} ms  "
+              f"p99={response.estimates['0.99']:8.3f} ms  "
+              f"cells={response.cells_scanned}")
+
+    print("\n== idempotent replay at the cluster ==")
+    backend = as_write_backend(cluster)
+    batch = make_batch(latency_ms[:10_000], dims=[service_col[:10_000]],
+                       timestamps=timestamps[:10_000],
+                       sequence=("telemetry-0", 0))
+    outcome = backend.write(batch)
+    before = service.execute(spec, backend="cluster")
+    print(f"replayed flush 0: applied on {outcome.replicas} replicas "
+          f"(already ingested -> no-op)")
+    after = service.execute(spec, backend="cluster")
+    print(f"answers unchanged: {after.estimates == before.estimates}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,11 +11,12 @@ __version__ = "1.2.0"
 
 
 def __getattr__(name: str):
-    # Lazy import: `repro.api` pulls in every engine layer, which plain
-    # `import repro` users (sketch-only pipelines) should not pay for.
-    if name == "api":
+    # Lazy import: `repro.api` / `repro.ingest` pull in every engine
+    # layer, which plain `import repro` users (sketch-only pipelines)
+    # should not pay for.
+    if name in ("api", "ingest"):
         import importlib
-        return importlib.import_module(".api", __name__)
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [

@@ -43,6 +43,7 @@ from ..store import PackedSketchStore
 from ..summaries.moments_summary import MomentsSummary
 from ..window.sliding import (Pane, TurnstileWindowProcessor, pack_panes,
                               remerge_windows_packed)
+from ..window.streaming import StreamingWindowMonitor
 from .spec import QuerySpec
 
 
@@ -491,6 +492,19 @@ def as_backend(obj, **kwargs) -> Backend:
         "repro.api.register_adapter or pass a Backend instance")
 
 
+def _monitor_panes(monitor, **kwargs) -> WindowBackend:
+    """Adapt a live StreamingWindowMonitor: query its current window.
+
+    The monitor retains the last ``window_panes`` sealed panes; this is
+    the read side of a :class:`~repro.ingest.IngestSession` over a
+    monitor, so freshly streamed data is queryable right after a flush.
+    """
+    panes = list(monitor._panes)
+    if not panes:
+        raise QueryError("the window monitor has no sealed panes to query")
+    return WindowBackend(panes, **kwargs)
+
+
 def _panes_like(obj) -> bool:
     return (isinstance(obj, (list, tuple)) and len(obj) > 0
             and all(isinstance(item, Pane) for item in obj))
@@ -506,5 +520,7 @@ register_adapter(lambda obj: isinstance(obj, DataCube), CubeBackend)
 register_adapter(lambda obj: isinstance(obj, DruidEngine), DruidBackend)
 register_adapter(lambda obj: isinstance(obj, PackedSketchStore),
                  PackedStoreBackend)
+register_adapter(lambda obj: isinstance(obj, StreamingWindowMonitor),
+                 _monitor_panes)
 register_adapter(_panes_like, WindowBackend)
 register_adapter(_summary_like, SummariesBackend)

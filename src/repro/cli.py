@@ -10,6 +10,7 @@ jobs around an analytics engine:
     python -m repro sketch threshold total.msk --t 100 --q 0.99
     python -m repro sketch bounds total.msk --t 100
     python -m repro sketch info total.msk
+    python -m repro ingest rows.csv --spec '{"backend": "cube", "dimensions": ["service"]}' --query '{"kind": "quantile", "quantiles": [0.99]}'
     python -m repro datasets list
     python -m repro datasets stats milan --rows 100000
 
@@ -28,6 +29,7 @@ files use the library's binary serialization.
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 import warnings
@@ -36,8 +38,8 @@ from pathlib import Path
 import numpy as np
 
 from .api import QueryService, QuerySpec, SummariesBackend, qkey
-from .core import (ConvergenceError, MomentsSketch, QuantileEstimator,
-                   QueryError, merge_all)
+from .core import (ConvergenceError, IngestError, MomentsSketch,
+                   QuantileEstimator, QueryError, merge_all)
 from .datasets import available, load, spec, summary_statistics
 from .summaries.moments_summary import MomentsSummary
 
@@ -178,6 +180,81 @@ def cmd_datasets_generate(args: argparse.Namespace) -> dict:
     data = np.asarray(load(args.name, n=args.rows, seed=args.seed))
     np.savetxt(args.output, data)
     return {"output": args.output, "rows": int(data.size)}
+
+
+def _read_ingest_columns(path: str, fmt: str, dimensions: tuple[str, ...]
+                         ) -> tuple[list, list[list], list | None]:
+    """Parse CSV (with header) or JSONL rows into ingest columns.
+
+    Every row needs the spec's dimension columns plus ``value``;
+    ``timestamp`` is optional (required by time-bucketed backends).
+    """
+    if fmt == "auto":
+        fmt = ("jsonl" if path.endswith((".jsonl", ".ndjson")) else "csv")
+    stream = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    try:
+        if fmt == "jsonl":
+            rows = [json.loads(line) for line in stream if line.strip()]
+        else:
+            rows = list(csv.DictReader(stream))
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    if not rows:
+        raise IngestError(f"no rows in {path}")
+    missing = [c for c in (*dimensions, "value") if c not in rows[0]]
+    if missing:
+        raise IngestError(f"input is missing columns {missing}; "
+                          f"have {sorted(rows[0])}")
+    with_time = "timestamp" in rows[0]
+    try:
+        values = [float(row["value"]) for row in rows]
+        dims = [[row[d] for row in rows] for d in dimensions]
+        timestamps = ([float(row["timestamp"]) for row in rows]
+                      if with_time else None)
+    except KeyError as exc:
+        raise IngestError(f"a row is missing column {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise IngestError(f"bad numeric value in input: {exc}") from None
+    return values, dims, timestamps
+
+
+def cmd_ingest(args: argparse.Namespace) -> dict:
+    """Unified ingestion: rows from a file into a spec-built backend.
+
+    Builds the target engine named by the :class:`~repro.ingest.IngestSpec`,
+    streams the rows through an :class:`~repro.ingest.IngestSession`
+    (micro-batched at the spec's flush triggers), and optionally runs a
+    :class:`~repro.api.QuerySpec` against the freshly written backend —
+    the whole write+read loop from one shell command.
+    """
+    from .ingest import IngestSession, IngestSpec, build_target
+
+    spec = IngestSpec.from_json(args.spec)
+    if spec.backend is None:
+        raise IngestError("--spec needs a 'backend' field "
+                          "(cube/druid/packed/window/cluster)")
+    values, dims, timestamps = _read_ingest_columns(
+        args.input, args.format, spec.dimensions)
+    target = build_target(spec)
+    chunk = spec.flush_rows or len(values)
+    with IngestSession(target, spec) as session:
+        for start in range(0, len(values), chunk):
+            stop = start + chunk
+            session.append_columns(
+                values[start:stop],
+                dims=[column[start:stop] for column in dims],
+                timestamps=(timestamps[start:stop]
+                            if timestamps is not None else None))
+    result = {"backend": session.backend.name, "rows": session.total_rows,
+              "cells": session.total_cells,
+              "flushes": len(session.reports),
+              "reports": [report.to_dict() for report in session.reports]}
+    if args.query:
+        response = session.query_service().execute(
+            QuerySpec.from_json(args.query))
+        result["query"] = response.to_dict()
+    return result
 
 
 def cmd_cluster_demo(args: argparse.Namespace) -> dict:
@@ -325,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--spec", default=None,
                         help="QuerySpec JSON; emits the full QueryResponse")
     bounds.set_defaults(handler=cmd_bounds)
+
+    ingest = subcommands.add_parser(
+        "ingest", help="unified ingestion: CSV/JSONL rows -> any write backend")
+    ingest.add_argument("input",
+                        help="row file ('-' = stdin); CSV needs a header "
+                             "with the spec's dimensions plus 'value' "
+                             "(and 'timestamp' for druid/cluster)")
+    ingest.add_argument("--spec", required=True,
+                        help="IngestSpec JSON; must name a 'backend'")
+    ingest.add_argument("--format", choices=("auto", "csv", "jsonl"),
+                        default="auto",
+                        help="input format (auto: by file extension)")
+    ingest.add_argument("--query", default=None,
+                        help="QuerySpec JSON to run against the freshly "
+                             "ingested backend")
+    ingest.set_defaults(handler=cmd_ingest)
 
     cluster = subcommands.add_parser(
         "cluster", help="simulated scatter-gather cluster (repro.cluster)")

@@ -33,6 +33,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.errors import ClusterError, QueryError
+from ..core.grouping import lexsort_groups
 from ..druid.aggregators import (AggregatorFactory, MomentsSketchAggregator)
 from .hashring import DEFAULT_VNODES, HashRing, shard_of
 from .node import DataNode
@@ -272,46 +273,24 @@ class ClusterCoordinator:
                values: np.ndarray) -> None:
         """Route rows to shard owners and roll up on every live replica.
 
-        Rows are assigned to shards by hashing their full dimension
-        tuple, so all rows of a cell land on the same shard.  Each owner
-        receives the identical row subset in the identical original
-        order, which (with the roll-up path's stable sort) keeps replica
-        states bit-for-bit equal.
+        Thin shim over the unified ingestion API: the batch is written
+        through :class:`~repro.ingest.ClusterWriteBackend`, which hashes
+        every row's full dimension tuple through the ring (so all rows
+        of a cell land on the same shard) and feeds each live owner the
+        identical row subset in the identical original order — keeping
+        replica states bit-for-bit equal, exactly as before.  Use an
+        :class:`~repro.ingest.IngestSession` with a ``dedup_key`` for
+        buffered micro-batches with idempotent replay.
         """
-        if not self.live_nodes:
-            raise ClusterError("the cluster has no live nodes")
-        if len(dimension_columns) != len(self.dimensions):
-            raise QueryError(
-                f"expected {len(self.dimensions)} dimension columns")
-        timestamps = np.asarray(timestamps, dtype=float)
-        values = np.asarray(values, dtype=float)
-        columns = [np.asarray(col) for col in dimension_columns]
-        shards = self.shard_ids(columns)
-        for shard in np.unique(shards):
-            mask = shards == shard
-            subset_ts = timestamps[mask]
-            subset_cols = [col[mask] for col in columns]
-            subset_values = values[mask]
-            owners = self.live_owners(int(shard))
-            if not owners:
-                raise ClusterError(
-                    f"shard {int(shard)} has no live owners")
-            for node_id in owners:
-                self.nodes[node_id].ingest_shard(
-                    int(shard), subset_ts, subset_cols, subset_values)
+        from ..ingest import write_columns
+        write_columns(self, values, dims=dimension_columns,
+                      timestamps=timestamps)
 
     def shard_ids(self, dimension_columns: Sequence[np.ndarray]) -> np.ndarray:
         """Per-row shard ids, hashing once per distinct dimension tuple."""
-        columns = [np.asarray(col) for col in dimension_columns]
-        n = columns[0].shape[0]
-        order = np.lexsort(tuple(reversed(columns)))
-        sorted_cols = [col[order] for col in columns]
-        boundary = np.zeros(n, dtype=bool)
-        boundary[0] = True
-        for col in sorted_cols:
-            boundary[1:] |= col[1:] != col[:-1]
-        starts = np.flatnonzero(boundary)
-        ends = np.append(starts[1:], n)
+        order, sorted_cols, _, starts, ends = \
+            lexsort_groups(dimension_columns)
+        n = order.shape[0]
         shards_sorted = np.empty(n, dtype=np.intp)
         for start, end in zip(starts, ends):
             key = tuple(col[start] for col in sorted_cols)

@@ -20,12 +20,13 @@ bits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.errors import ClusterError
+from ..core.grouping import check_columns
 from ..druid.aggregators import AggregatorFactory, AggregatorState
 from ..druid.engine import DruidEngine, Segment
 from ..store import PackedSketchStore
@@ -49,10 +50,16 @@ class ShardPartial:
 
 @dataclass
 class ShardSnapshot:
-    """A transferable bit-exact copy of one shard's engine state."""
+    """A transferable bit-exact copy of one shard's engine state.
+
+    ``applied`` carries the shard's idempotency ledger — the ingest
+    sequence stamps already rolled up — so a replica reconstructed from
+    a snapshot keeps treating replayed batches as no-ops.
+    """
 
     shard: int
     segments: list[Segment]
+    applied: set = field(default_factory=set)
 
     def size_bytes(self) -> int:
         """Serialized footprint of the snapshot's packed stores."""
@@ -91,6 +98,8 @@ class DataNode:
         self.packed_moments = bool(packed_moments)
         self.alive = True
         self.shards: dict[int, DruidEngine] = {}
+        #: Per-shard idempotency ledgers: ingest sequence stamps applied.
+        self._applied: dict[int, set] = {}
 
     # ------------------------------------------------------------------
     # Shard lifecycle
@@ -117,6 +126,7 @@ class DataNode:
 
     def drop_shard(self, shard: int) -> None:
         self.shards.pop(shard, None)
+        self._applied.pop(shard, None)
 
     def export_shard(self, shard: int) -> ShardSnapshot:
         """Snapshot a hosted shard for replication / rebalance."""
@@ -127,7 +137,8 @@ class DataNode:
         return ShardSnapshot(
             shard=shard,
             segments=[_clone_segment(segment)
-                      for segment in engine.segments.values()])
+                      for segment in engine.segments.values()],
+            applied=set(self._applied.get(shard, ())))
 
     def import_shard(self, snapshot: ShardSnapshot) -> None:
         """Install a snapshot, replacing any existing copy of the shard."""
@@ -139,6 +150,7 @@ class DataNode:
         for segment in snapshot.segments:
             engine.segments[segment.chunk] = segment
         self.shards[snapshot.shard] = engine
+        self._applied[snapshot.shard] = set(snapshot.applied)
 
     # ------------------------------------------------------------------
     # Failure simulation
@@ -166,10 +178,29 @@ class DataNode:
 
     def ingest_shard(self, shard: int, timestamps: np.ndarray,
                      dimension_columns: Sequence[np.ndarray],
-                     values: np.ndarray) -> None:
-        """Roll rows of one shard up through the standard Druid path."""
+                     values: np.ndarray,
+                     sequence: tuple | None = None) -> int | None:
+        """Roll one shard sub-batch up through the standard Druid path.
+
+        ``sequence`` is the batch's idempotency stamp (see
+        :class:`~repro.ingest.ClusterWriteBackend`): a stamp this shard
+        already applied makes the call a no-op, so replayed batches
+        cannot double-count on any replica.  Returns the number of
+        ``(chunk, key)`` groups touched, or ``None`` when deduplicated.
+        """
         self._check_alive()
-        self._shard_engine(shard).ingest(timestamps, dimension_columns, values)
+        check_columns(len(self.dimensions), dimension_columns, values,
+                      timestamps, needs_timestamps=True,
+                      context=f"shard {shard} ingest")
+        if sequence is not None:
+            applied = self._applied.setdefault(shard, set())
+            if sequence in applied:
+                return None
+        groups = self._shard_engine(shard)._rollup_rows(
+            timestamps, dimension_columns, values)
+        if sequence is not None:
+            applied.add(sequence)
+        return groups
 
     # ------------------------------------------------------------------
     # Node-local scatter work

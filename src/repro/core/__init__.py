@@ -7,7 +7,7 @@ from .solver import SolverConfig
 from .errors import (
     ReproError, SketchError, IncompatibleSketchError, EmptySketchError,
     ConvergenceError, EstimationError, BoundError, EncodingError,
-    DatasetError, QueryError,
+    DatasetError, QueryError, IngestError, BackpressureError,
 )
 
 __all__ = [
@@ -16,5 +16,5 @@ __all__ = [
     "safe_estimate_quantiles", "SolverConfig",
     "ReproError", "SketchError", "IncompatibleSketchError", "EmptySketchError",
     "ConvergenceError", "EstimationError", "BoundError", "EncodingError",
-    "DatasetError", "QueryError",
+    "DatasetError", "QueryError", "IngestError", "BackpressureError",
 ]

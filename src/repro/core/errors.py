@@ -58,5 +58,27 @@ class QueryError(ReproError):
     """Malformed query against the cube / engine layers."""
 
 
+class IngestError(QueryError):
+    """Malformed or inconsistent write at an ingest boundary.
+
+    Raised uniformly by every ingest entry point (cube, Druid engine,
+    packed store sessions, window monitors, cluster routing) for
+    mismatched column lengths, wrong dimension arity, missing
+    timestamps, and invalid ingest specs.  Subclasses
+    :class:`QueryError` so callers that already guard engine boundaries
+    with ``except QueryError`` keep working.
+    """
+
+
+class BackpressureError(IngestError):
+    """An ingest buffer exceeded its configured pending-row budget.
+
+    Raised by :class:`~repro.ingest.IngestSession` when auto-flush is
+    disabled and an append would push the buffered row count past
+    ``max_pending_rows`` — the caller must flush (or drop) before
+    appending more.
+    """
+
+
 class ClusterError(ReproError):
     """Invalid cluster topology operation or unroutable shard."""

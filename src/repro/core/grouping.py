@@ -1,0 +1,92 @@
+"""Shared vectorized row-grouping kernel for every ingest path.
+
+Each roll-up ingest in this repository — data-cube cells, Druid
+``(chunk, key)`` groups, packed-store key->row sessions, cluster shard
+routing — groups a row batch by its dimension tuple with the same
+stable lexsort + boundary-detection pass.  Keeping the kernel in one
+place is what keeps those systems bit-for-bit interchangeable: the
+group visit order and the per-group value order are identical
+everywhere, so the same rows accumulate the same float adds in the
+same association no matter which layer ingested them.
+
+:func:`check_columns` is the matching uniform boundary validation:
+every write path raises the same :class:`~repro.core.errors
+.IngestError` for wrong dimension arity, misaligned column lengths, or
+missing timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .errors import IngestError
+
+
+def check_columns(ndims: int, dims: Sequence, values,
+                  timestamps=None, *, needs_timestamps: bool = False,
+                  context: str = "ingest") -> None:
+    """Uniform ingest-boundary validation (arity + aligned lengths).
+
+    Every write path — legacy entry points, write backends, and cluster
+    shard sub-batches — funnels through this check so a malformed batch
+    raises the same :class:`~repro.core.errors.IngestError` everywhere.
+    A zero-row batch is valid as long as every column is empty too
+    (idle polls are no-ops, matching the legacy cluster entry point).
+    """
+    n = np.shape(values)[0] if np.ndim(values) else 1
+    if len(dims) != ndims:
+        raise IngestError(
+            f"{context}: expected {ndims} dimension columns, got {len(dims)}")
+    for position, column in enumerate(dims):
+        m = np.shape(column)[0] if np.ndim(column) else 1
+        if m != n:
+            raise IngestError(
+                f"{context}: dimension column {position} has {m} rows, "
+                f"values has {n}")
+    if needs_timestamps and timestamps is None:
+        raise IngestError(f"{context}: this backend rolls up by time and "
+                          "needs a timestamps column")
+    if timestamps is not None:
+        m = np.shape(timestamps)[0] if np.ndim(timestamps) else 1
+        if m != n:
+            raise IngestError(
+                f"{context}: timestamps has {m} rows, values has {n}")
+
+
+def lexsort_groups(columns: Sequence, primary=None):
+    """Stable-sort rows by their key tuple and locate group boundaries.
+
+    Sort keys follow the engines' convention: ``np.lexsort`` over the
+    reversed dimension columns (first dimension most significant), with
+    ``primary`` (e.g. Druid's time chunk) as the overall most
+    significant key when given.  Returns ``(order, sorted_columns,
+    sorted_primary, starts, ends)``: groups are the
+    ``[starts[i], ends[i])`` slices of the sorted arrays, and the sort
+    stability makes each group's row order the input order — the
+    invariant the bit-exactness gates rest on.
+    """
+    arrays = [np.asarray(col) for col in columns]
+    keys = tuple(reversed(arrays))
+    if primary is not None:
+        primary = np.asarray(primary)
+        keys = keys + (primary,)
+    if not keys:
+        raise IngestError("grouping needs at least one key column")
+    n = keys[0].shape[0]
+    order = np.lexsort(keys)
+    sorted_columns = [col[order] for col in arrays]
+    sorted_primary = primary[order] if primary is not None else None
+    if n == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return order, sorted_columns, sorted_primary, empty, empty
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    if sorted_primary is not None:
+        boundary[1:] |= sorted_primary[1:] != sorted_primary[:-1]
+    for col in sorted_columns:
+        boundary[1:] |= col[1:] != col[:-1]
+    starts = np.flatnonzero(boundary)
+    ends = np.append(starts[1:], n)
+    return order, sorted_columns, sorted_primary, starts, ends

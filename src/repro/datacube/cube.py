@@ -40,6 +40,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..core.errors import QueryError
+from ..core.grouping import lexsort_groups
 from ..core.params import normalize_q
 from ..core.sketch import MomentsSketch
 from ..store import PackedSketchStore
@@ -138,30 +139,30 @@ class DataCube:
                values: np.ndarray) -> None:
         """Group rows by dimension tuple and accumulate per-cell summaries.
 
+        Thin shim over the unified ingestion API (:mod:`repro.ingest`):
+        the batch is validated and written through
+        :class:`~repro.ingest.CubeWriteBackend` in a single flush, so
+        results are bit-for-bit what this entry point always produced.
+        Use an :class:`~repro.ingest.IngestSession` directly for
+        buffered micro-batched writes and per-flush reports.
+        """
+        from ..ingest import write_columns
+        write_columns(self, values, dims=dimension_columns)
+
+    def _ingest_columns(self, dimension_columns: Sequence[np.ndarray],
+                        values: np.ndarray) -> int:
+        """One-batch roll-up kernel; returns the distinct cells touched.
+
         ``dimension_columns`` holds one array per schema dimension, aligned
         with ``values``.  Grouping is vectorized (lexicographic sort +
         boundary detection), so ingestion is a single pass; on the packed
         backend the per-cell accumulation itself is one shared Vandermonde
         pass via :meth:`PackedSketchStore.batch_accumulate`.
         """
-        if len(dimension_columns) != len(self.schema.dimensions):
-            raise QueryError(
-                f"expected {len(self.schema.dimensions)} dimension columns, "
-                f"got {len(dimension_columns)}")
         values = np.asarray(values, dtype=float)
-        columns = [np.asarray(col) for col in dimension_columns]
-        for col in columns:
-            if col.shape[0] != values.shape[0]:
-                raise QueryError("dimension column length mismatch")
-        order = np.lexsort(tuple(reversed(columns)))
-        sorted_cols = [col[order] for col in columns]
+        order, sorted_cols, _, starts, ends = \
+            lexsort_groups(dimension_columns)
         sorted_values = values[order]
-        boundary = np.zeros(values.shape[0], dtype=bool)
-        boundary[0] = True
-        for col in sorted_cols:
-            boundary[1:] |= col[1:] != col[:-1]
-        starts = np.flatnonzero(boundary)
-        ends = np.append(starts[1:], values.shape[0])
         if self._packed:
             group_rows = np.empty(starts.size, dtype=np.intp)
             for i, start in enumerate(starts):
@@ -189,7 +190,7 @@ class DataCube:
                         sorted_values[starts[span_start]:ends[i]])
                     span_start = i + 1
                     pending = 0
-            return
+            return int(starts.size)
         for start, end in zip(starts, ends):
             key = tuple(col[start] for col in sorted_cols)
             cell = self.cells.get(key)
@@ -197,6 +198,7 @@ class DataCube:
                 cell = self.summary_factory()
                 self.cells[key] = cell
             cell.accumulate(sorted_values[start:end])
+        return int(starts.size)
 
     def insert_cell(self, key: CellKey, summary: QuantileSummary) -> None:
         """Install a pre-built summary (merging if the cell exists)."""

@@ -40,6 +40,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.errors import QueryError
+from ..core.grouping import lexsort_groups
 from ..core.params import normalize_q
 from ..core.sketch import MomentsSketch
 from ..store import PackedSketchStore
@@ -124,25 +125,30 @@ class DruidEngine:
     def ingest(self, timestamps: np.ndarray,
                dimension_columns: Sequence[np.ndarray],
                values: np.ndarray) -> None:
-        """Roll up rows into per-(chunk, dimension-tuple) aggregator states."""
-        if len(dimension_columns) != len(self.dimensions):
-            raise QueryError(
-                f"expected {len(self.dimensions)} dimension columns")
+        """Roll up rows into per-(chunk, dimension-tuple) aggregator states.
+
+        Thin shim over the unified ingestion API (:mod:`repro.ingest`):
+        the batch is validated (dimension arity *and* aligned column
+        lengths, raising :class:`~repro.core.errors.IngestError`) and
+        written through :class:`~repro.ingest.DruidWriteBackend` in a
+        single flush, bit-for-bit identical to the historical entry
+        point.  Use an :class:`~repro.ingest.IngestSession` for buffered
+        micro-batched writes.
+        """
+        from ..ingest import write_columns
+        write_columns(self, values, dims=dimension_columns,
+                      timestamps=timestamps)
+
+    def _rollup_rows(self, timestamps: np.ndarray,
+                     dimension_columns: Sequence[np.ndarray],
+                     values: np.ndarray) -> int:
+        """One-batch roll-up kernel; returns the (chunk, key) groups hit."""
         timestamps = np.asarray(timestamps, dtype=float)
         values = np.asarray(values, dtype=float)
         chunks = np.floor(timestamps / self.granularity).astype(int)
-        columns = [np.asarray(col) for col in dimension_columns]
-        order = np.lexsort(tuple(reversed(columns)) + (chunks,))
-        chunks = chunks[order]
-        columns = [col[order] for col in columns]
+        order, columns, chunks, starts, ends = \
+            lexsort_groups(dimension_columns, primary=chunks)
         values = values[order]
-        boundary = np.zeros(values.size, dtype=bool)
-        boundary[0] = True
-        boundary[1:] |= chunks[1:] != chunks[:-1]
-        for col in columns:
-            boundary[1:] |= col[1:] != col[:-1]
-        starts = np.flatnonzero(boundary)
-        ends = np.append(starts[1:], values.size)
         for start, end in zip(starts, ends):
             chunk = int(chunks[start])
             key = tuple(col[start] for col in columns)
@@ -170,6 +176,7 @@ class DruidEngine:
                     row = store.new_row()
                     rows[key] = row
                 store.accumulate_row(row, batch)
+        return int(starts.size)
 
     @property
     def num_cells(self) -> int:

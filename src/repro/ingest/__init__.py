@@ -1,0 +1,31 @@
+"""Unified declarative ingestion API (the repo's single write surface).
+
+One :class:`IngestSpec` describes a write session; an
+:class:`IngestSession` buffers rows in a structure-of-arrays
+:class:`WriteBuffer` and flushes them through vectorized micro-batches
+to any registered :class:`WriteBackend` — data cube, Druid engine,
+packed sketch store, streaming window monitor, or a replication-aware
+:mod:`repro.cluster` coordinator — returning per-flush
+:class:`IngestReport` objects and wiring straight into
+:class:`~repro.api.QueryService` so freshly written data is immediately
+queryable.  See ``examples/unified_ingest.py`` for one session feeding
+three backends.
+"""
+
+from .backends import (ClusterWriteBackend, CubeWriteBackend,
+                       DruidWriteBackend, FanOutWriteBackend,
+                       PackedStoreWriteBackend, WindowWriteBackend,
+                       WriteBackend, WriteOutcome, as_write_backend,
+                       build_target, register_write_adapter)
+from .buffer import WriteBatch, WriteBuffer, check_columns, make_batch
+from .session import IngestSession, write_columns, write_rows
+from .spec import BACKENDS, TRIGGERS, IngestReport, IngestSpec
+
+__all__ = [
+    "ClusterWriteBackend", "CubeWriteBackend", "DruidWriteBackend",
+    "FanOutWriteBackend", "PackedStoreWriteBackend", "WindowWriteBackend",
+    "WriteBackend", "WriteOutcome", "as_write_backend", "build_target",
+    "register_write_adapter", "WriteBatch", "WriteBuffer", "check_columns",
+    "make_batch", "IngestSession", "write_columns", "write_rows",
+    "BACKENDS", "TRIGGERS", "IngestReport", "IngestSpec",
+]

@@ -1,0 +1,135 @@
+"""Structure-of-arrays write buffering for ingest sessions.
+
+A :class:`WriteBuffer` accumulates appended rows as *columns* — one
+values array, one array per dimension, and (when the target rolls up by
+time) one timestamps array — so a flush hands the write backend
+contiguous arrays ready for the vectorized accumulate kernels
+(:meth:`~repro.store.PackedSketchStore.batch_accumulate` and the
+engines' lexsort-and-segment roll-ups) without any per-row Python work.
+
+:class:`WriteBatch` is the unit a backend receives: the drained columns
+plus the optional idempotency ``sequence`` stamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import IngestError
+from ..core.grouping import check_columns  # noqa: F401  (canonical home)
+
+
+@dataclass(frozen=True)
+class WriteBatch:
+    """One flush-sized unit of columnar rows handed to a write backend."""
+
+    values: np.ndarray
+    dims: tuple = ()
+    timestamps: np.ndarray | None = None
+    #: Idempotency stamp ``(dedup_key, flush_index)`` or ``None``.
+    sequence: tuple | None = None
+
+    @property
+    def rows(self) -> int:
+        return int(self.values.shape[0])
+
+
+def make_batch(values, dims: Sequence = (), timestamps=None,
+               sequence: tuple | None = None) -> WriteBatch:
+    """Coerce raw columns into a :class:`WriteBatch` (floats validated)."""
+    values = np.atleast_1d(np.asarray(values, dtype=float))
+    columns = tuple(np.atleast_1d(np.asarray(col)) for col in dims)
+    ts = (None if timestamps is None
+          else np.atleast_1d(np.asarray(timestamps, dtype=float)))
+    return WriteBatch(values=values, dims=columns, timestamps=ts,
+                      sequence=sequence)
+
+
+class WriteBuffer:
+    """Columnar (SoA) append buffer behind an ingest session.
+
+    Appends are O(1) list pushes of array chunks; :meth:`drain`
+    concatenates each column once.  The first append fixes the shape —
+    dimension arity and timestamp presence — and later appends must
+    match, so a drained batch is always rectangular.
+    """
+
+    def __init__(self):
+        self._values: list[np.ndarray] = []
+        self._dims: list[list[np.ndarray]] | None = None
+        self._timestamps: list[np.ndarray] | None = None
+        self._has_timestamps: bool | None = None
+        self._rows = 0
+        self._nbytes = 0
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate buffered payload size (8 bytes per object cell)."""
+        return self._nbytes
+
+    @property
+    def is_empty(self) -> bool:
+        return self._rows == 0
+
+    def append(self, values, dims: Sequence = (), timestamps=None) -> int:
+        """Append aligned column chunks; returns the rows added."""
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        if values.ndim != 1:
+            raise IngestError("values must be a one-dimensional column")
+        columns = [np.atleast_1d(np.asarray(col)) for col in dims]
+        check_columns(len(columns), columns, values, timestamps,
+                      context="buffer append")
+        if self._dims is None:
+            self._dims = [[] for _ in columns]
+            self._has_timestamps = timestamps is not None
+        elif len(columns) != len(self._dims):
+            raise IngestError(
+                f"buffer holds {len(self._dims)} dimension columns, "
+                f"append has {len(columns)}")
+        elif (timestamps is not None) != self._has_timestamps:
+            raise IngestError(
+                "cannot mix timestamped and untimestamped appends in one "
+                "buffer")
+        self._values.append(values)
+        self._nbytes += values.nbytes
+        for store, column in zip(self._dims, columns):
+            store.append(column)
+            self._nbytes += (column.nbytes if column.dtype != object
+                             else column.size * 8)
+        if timestamps is not None:
+            ts = np.atleast_1d(np.asarray(timestamps, dtype=float))
+            if self._timestamps is None:
+                self._timestamps = []
+            self._timestamps.append(ts)
+            self._nbytes += ts.nbytes
+        self._rows += int(values.shape[0])
+        return int(values.shape[0])
+
+    def drain(self, sequence: tuple | None = None) -> WriteBatch:
+        """Concatenate every buffered column into one batch and reset."""
+        if self.is_empty:
+            raise IngestError("cannot drain an empty write buffer")
+        values = (self._values[0] if len(self._values) == 1
+                  else np.concatenate(self._values))
+        dims = tuple((chunks[0] if len(chunks) == 1 else np.concatenate(chunks))
+                     for chunks in (self._dims or []))
+        timestamps = None
+        if self._timestamps:
+            timestamps = (self._timestamps[0] if len(self._timestamps) == 1
+                          else np.concatenate(self._timestamps))
+        batch = WriteBatch(values=values, dims=dims, timestamps=timestamps,
+                           sequence=sequence)
+        self._values = []
+        self._dims = None
+        self._timestamps = None
+        self._has_timestamps = None
+        self._rows = 0
+        self._nbytes = 0
+        return batch

@@ -1,0 +1,220 @@
+"""Declarative ingestion descriptions and uniform per-flush reports.
+
+:class:`IngestSpec` is the write-side twin of
+:class:`~repro.api.QuerySpec`: one validated, JSON-round-trippable value
+object that describes *how* rows should be ingested (target backend,
+dimension schema, roll-up granularity, pane/shard policy,
+dedup/idempotency key, flush triggers) independently of *which* storage
+engine receives them.  :class:`~repro.ingest.session.IngestSession`
+executes it, flushing buffered rows through vectorized micro-batches and
+returning one :class:`IngestReport` per flush (rows, cells touched,
+route/pack timing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.errors import IngestError
+
+#: Write-backend kinds an IngestSpec may target (registry display names).
+BACKENDS = ("cube", "druid", "packed", "window", "cluster", "fanout")
+
+#: Flush trigger names recorded on reports.
+TRIGGERS = ("rows", "bytes", "explicit", "close")
+
+
+@dataclass(frozen=True)
+class IngestSpec:
+    """One declarative description of a write session.
+
+    Parameters
+    ----------
+    backend:
+        Optional target backend kind (one of :data:`BACKENDS`).  Required
+        when a target engine must be *built* from the spec (the CLI);
+        sessions opened over an existing engine infer it.
+    dimensions:
+        Dimension schema, in column order.  Must match the target
+        engine's schema when the target has one.
+    k, track_log:
+        Moments-sketch parameters used when building targets from the
+        spec; existing engines keep their own.
+    granularity:
+        Roll-up time-bucket width for ``druid``/``cluster`` targets.
+    pane_size, window_panes, threshold:
+        Pane policy for ``window`` targets (rows per pane, panes per
+        query window, alert threshold; ``threshold=None`` disables
+        alerting).
+    num_shards, replication, nodes:
+        Shard policy for ``cluster`` targets built from the spec.
+    dedup_key:
+        Idempotency namespace.  When set, every flush is stamped with
+        the sequence ``(dedup_key, flush_index)`` and replication-aware
+        backends (the cluster) treat a replayed sequence as a no-op on
+        every replica.  The key names one logical load: re-running the
+        *same* load after a crash deduplicates exactly as intended,
+        but reusing a key for a session carrying *different* rows will
+        silently drop them (the report's ``replicas``/``cells`` fields
+        show ``0`` when a flush was entirely deduplicated).
+    flush_rows:
+        Auto-flush once this many rows are buffered (``None`` disables
+        the row-count trigger).
+    flush_bytes:
+        Auto-flush once the buffered columns exceed this byte budget
+        (``None`` disables the byte trigger).
+    max_pending_rows:
+        Hard backpressure cap: with auto-flush disabled, an append that
+        would exceed this raises
+        :class:`~repro.core.errors.BackpressureError`.
+    """
+
+    backend: str | None = None
+    dimensions: tuple[str, ...] = ()
+    k: int = 10
+    track_log: bool = True
+    granularity: float | None = None
+    pane_size: int | None = None
+    window_panes: int | None = None
+    threshold: float | None = None
+    num_shards: int | None = None
+    replication: int | None = None
+    nodes: int | None = None
+    dedup_key: str | None = None
+    flush_rows: int | None = 100_000
+    flush_bytes: int | None = None
+    max_pending_rows: int | None = None
+
+    def __post_init__(self):
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise IngestError(f"unknown ingest backend {self.backend!r}; "
+                              f"use one of {BACKENDS}")
+        object.__setattr__(self, "dimensions",
+                           tuple(str(d) for d in self.dimensions))
+        if len(set(self.dimensions)) != len(self.dimensions):
+            raise IngestError("duplicate dimension names")
+        if int(self.k) < 1:
+            raise IngestError(f"k must be >= 1, got {self.k}")
+        object.__setattr__(self, "k", int(self.k))
+        object.__setattr__(self, "track_log", bool(self.track_log))
+        if self.granularity is not None:
+            if float(self.granularity) <= 0:
+                raise IngestError(
+                    f"granularity must be positive, got {self.granularity}")
+            object.__setattr__(self, "granularity", float(self.granularity))
+        if self.threshold is not None:
+            object.__setattr__(self, "threshold", float(self.threshold))
+        for name in ("pane_size", "window_panes", "num_shards", "replication",
+                     "nodes", "flush_rows", "flush_bytes", "max_pending_rows"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if int(value) < 1:
+                raise IngestError(f"{name} must be positive, got {value}")
+            object.__setattr__(self, name, int(value))
+        if (self.flush_rows is not None and self.max_pending_rows is not None
+                and self.max_pending_rows < self.flush_rows):
+            raise IngestError(
+                f"max_pending_rows ({self.max_pending_rows}) must be >= "
+                f"flush_rows ({self.flush_rows})")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def sequence_for(self, flush_index: int) -> tuple | None:
+        """The idempotency stamp for one flush (None without a dedup key)."""
+        if self.dedup_key is None:
+            return None
+        return (self.dedup_key, int(flush_index))
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload: dict = {}
+        for name, default in type(self)._field_defaults().items():
+            value = getattr(self, name)
+            if value != default:
+                payload[name] = (list(value) if isinstance(value, tuple)
+                                 else value)
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=str)
+
+    @classmethod
+    def _field_defaults(cls) -> dict:
+        return {f.name: f.default for f in dataclasses.fields(cls)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "IngestSpec":
+        payload = dict(payload)
+        known = cls._field_defaults()
+        unknown = set(payload) - set(known)
+        if unknown:
+            raise IngestError(f"unknown ingest spec fields: {sorted(unknown)}")
+        if "dimensions" in payload:
+            payload["dimensions"] = tuple(payload["dimensions"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "IngestSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise IngestError(f"invalid ingest spec JSON: {exc}") from None
+        if not isinstance(payload, Mapping):
+            raise IngestError("ingest spec JSON must be an object")
+        return cls.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Uniform result of one flush through a write backend.
+
+    ``cells`` counts the pre-aggregated cells the flush touched (cube
+    cells, Druid ``(chunk, key)`` groups, packed-store rows, sealed
+    panes, or cluster cell groups summed across shards); ``route_seconds``
+    is shard/hashring routing time (cluster only) and ``pack_seconds``
+    the vectorized accumulate/roll-up kernel time — the write-side
+    analogue of the Eq. 2 merge term.
+    """
+
+    backend: str
+    flush_index: int
+    rows: int
+    cells: int
+    trigger: str = "explicit"
+    route_seconds: float = 0.0
+    pack_seconds: float = 0.0
+    write_seconds: float = 0.0
+    sequence: tuple | None = None
+    alerts: int | None = None
+    shards: int | None = None
+    replicas: int | None = None
+
+    def to_dict(self) -> dict:
+        payload: dict = {"backend": self.backend,
+                         "flush_index": self.flush_index,
+                         "rows": self.rows, "cells": self.cells,
+                         "trigger": self.trigger,
+                         "route_seconds": self.route_seconds,
+                         "pack_seconds": self.pack_seconds,
+                         "write_seconds": self.write_seconds}
+        if self.sequence is not None:
+            payload["sequence"] = list(self.sequence)
+        if self.alerts is not None:
+            payload["alerts"] = self.alerts
+        if self.shards is not None:
+            payload["shards"] = self.shards
+        if self.replicas is not None:
+            payload["replicas"] = self.replicas
+        return payload
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=float)

@@ -109,7 +109,22 @@ class StreamingWindowMonitor:
         return len(self._panes) == self.window_panes
 
     def ingest(self, values: Iterable[float]) -> list[WindowAlert]:
-        """Feed stream values; returns any alerts raised by sealed panes."""
+        """Feed stream values; returns any alerts raised by sealed panes.
+
+        Thin shim over the unified ingestion API (:mod:`repro.ingest`):
+        the batch is written through
+        :class:`~repro.ingest.WindowWriteBackend` in a single flush
+        (identical pane sealing, identical alerts).  Use an
+        :class:`~repro.ingest.IngestSession` for buffered micro-batched
+        writes and per-flush reports.
+        """
+        from ..ingest.backends import WindowWriteBackend
+        from ..ingest.buffer import make_batch
+        outcome = WindowWriteBackend(self).write(make_batch(values))
+        return outcome.alerts or []
+
+    def _ingest_values(self, values: Iterable[float]) -> list[WindowAlert]:
+        """One-batch pane-sealing kernel behind :meth:`ingest`."""
         x = np.atleast_1d(np.asarray(values, dtype=float))
         new_alerts: list[WindowAlert] = []
         cursor = 0

@@ -394,6 +394,20 @@ class TestBackendsAndPlanner:
         backend = as_backend(cube)
         assert as_backend(backend) is backend
 
+    def test_as_backend_adapts_live_window_monitor(self):
+        from repro.window import StreamingWindowMonitor
+        monitor = StreamingWindowMonitor(pane_size=50, window_panes=4,
+                                         threshold=float("inf"), k=6)
+        with pytest.raises(QueryError):
+            as_backend(monitor)  # no sealed panes yet
+        monitor.ingest(np.linspace(1.0, 2.0, 200))
+        backend = as_backend(monitor)
+        assert backend.name == "window"
+        response = QueryService(window=backend).execute(
+            QuerySpec(kind="quantile", quantiles=(0.5,)))
+        assert response.cells_scanned == 4
+        assert response.count == 200
+
     def test_plan_modes(self, cube):
         backend = as_backend(cube)
         assert plan(QuerySpec(kind="quantile"), backend).mode == "rollup"

@@ -173,6 +173,86 @@ class TestDatasetCommands:
         assert "DatasetError" in result["error"]
 
 
+class TestIngestCommand:
+    @pytest.fixture()
+    def row_csv(self, tmp_path):
+        rng = np.random.default_rng(5)
+        path = tmp_path / "rows.csv"
+        with path.open("w") as stream:
+            stream.write("service,value\n")
+            for service, value in zip(rng.choice(["api", "web"], 400),
+                                      rng.lognormal(1.0, 1.0, 400)):
+                stream.write(f"{service},{value}\n")
+        return path
+
+    def test_csv_into_cube_then_query(self, row_csv, capsys):
+        code, result = run_cli(
+            capsys, "ingest", str(row_csv),
+            "--spec", '{"backend": "cube", "dimensions": ["service"]}',
+            "--query", '{"kind": "group_by", "group_dimension": "service", '
+                       '"quantiles": [0.5]}')
+        assert code == 0
+        assert result["backend"] == "cube"
+        assert result["rows"] == 400
+        assert result["cells"] == 2
+        assert result["flushes"] == 1
+        assert result["reports"][0]["trigger"] == "close"
+        assert set(result["query"]["groups"]) == {"api", "web"}
+
+    def test_jsonl_into_cluster_micro_batched(self, tmp_path, capsys):
+        rng = np.random.default_rng(6)
+        path = tmp_path / "rows.jsonl"
+        with path.open("w") as stream:
+            for i, value in enumerate(rng.lognormal(1.0, 1.0, 300)):
+                stream.write(json.dumps({"cell": int(i % 10),
+                                         "timestamp": float(i % 3),
+                                         "value": float(value)}) + "\n")
+        spec = {"backend": "cluster", "dimensions": ["cell"],
+                "num_shards": 4, "replication": 2, "nodes": 2,
+                "granularity": 1.0, "dedup_key": "cli-load",
+                "flush_rows": 100}
+        code, result = run_cli(
+            capsys, "ingest", str(path), "--spec", json.dumps(spec),
+            "--query", '{"kind": "quantile", "quantiles": [0.5, 0.99]}')
+        assert code == 0
+        assert result["rows"] == 300
+        assert result["flushes"] == 3
+        for index, report in enumerate(result["reports"]):
+            assert report["sequence"] == ["cli-load", index]
+            assert report["shards"] == 4
+            assert report["replicas"] == 8  # 4 shards x 2 replicas
+        assert result["query"]["count"] == 300.0
+
+    def test_window_value_stream(self, tmp_path, capsys):
+        path = tmp_path / "values.csv"
+        with path.open("w") as stream:
+            stream.write("value\n")
+            for i in range(250):
+                stream.write(f"{1.0 + (i % 7)}\n")
+        spec = {"backend": "window", "pane_size": 50, "window_panes": 2}
+        code, result = run_cli(
+            capsys, "ingest", str(path), "--spec", json.dumps(spec),
+            "--query", '{"kind": "quantile", "quantiles": [0.9]}')
+        assert code == 0
+        assert result["cells"] == 5  # sealed panes
+        # The monitor retains the live window only (window_panes panes).
+        assert result["query"]["cells_scanned"] == 2
+
+    def test_missing_column_is_structured_error(self, row_csv, capsys):
+        code, result = run_cli(
+            capsys, "ingest", str(row_csv),
+            "--spec", '{"backend": "cube", "dimensions": ["region"]}')
+        assert code == 1
+        assert "IngestError" in result["error"]
+        assert "region" in result["error"]
+
+    def test_spec_without_backend_is_structured_error(self, row_csv, capsys):
+        code, result = run_cli(capsys, "ingest", str(row_csv),
+                               "--spec", '{"dimensions": ["service"]}')
+        assert code == 1
+        assert "IngestError" in result["error"]
+
+
 class TestClusterCommands:
     def test_demo_bit_exact_failover(self, capsys):
         code, result = run_cli(capsys, "cluster", "demo",

@@ -12,13 +12,17 @@ other and within tolerance of ground truth.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.api import QueryService, QuerySpec, qkey
 from repro.cluster import ClusterCoordinator
 from repro.datacube import CubeSchema, DataCube
 from repro.druid import DruidEngine, MomentsSketchAggregator
+from repro.ingest import IngestSession, IngestSpec, make_batch, \
+    as_write_backend
+from repro.store import PackedSketchStore
 from repro.summaries.moments_summary import MomentsSummary
-from repro.window import build_panes
+from repro.window import StreamingWindowMonitor, build_panes
 from repro.workload import build_packed_cells
 
 CELL = 200
@@ -186,3 +190,153 @@ class TestClusterBitExactness:
         ours = service.execute(spec, backend="cluster")
         assert ours.moments == theirs.moments
         assert ours.estimates == theirs.estimates
+
+
+MOMENTS_SPEC = QuerySpec(kind="quantile", quantiles=(0.1, 0.5, 0.9, 0.99),
+                         report_moments=True)
+
+
+class TestIngestEquivalence:
+    """IngestSession vs legacy per-layer ingest: bit-exact on all five.
+
+    Each test feeds the identical rows, with identical batch boundaries,
+    once through the legacy entry point and once through an
+    :class:`~repro.ingest.IngestSession`, then asserts the unified
+    QuerySpec answers — merged moments included — match bit for bit.
+    (Different batch *boundaries* would re-associate float adds; the
+    gate holds per batch, which is what the shims guarantee.)
+    """
+
+    def _moments(self, target) -> dict:
+        payload = QueryService(t=target).execute(MOMENTS_SPEC).to_dict()
+        payload.pop("timings")  # wall-clock noise; everything else is exact
+        return payload
+
+    def test_cube(self, data):
+        cell_ids = np.arange(data.size) // CELL
+        legacy = DataCube(CubeSchema(("cell",)), lambda: MomentsSummary(k=K))
+        legacy.ingest([cell_ids], data)
+        target = DataCube(CubeSchema(("cell",)), lambda: MomentsSummary(k=K))
+        with IngestSession(target) as session:
+            session.append_columns(data, dims=[cell_ids])
+        assert self._moments(target) == self._moments(legacy)
+
+    def test_druid(self, data):
+        cell_ids = np.arange(data.size) // CELL
+        timestamps = (np.arange(data.size) // 4000).astype(float)
+
+        def engine():
+            return DruidEngine(
+                dimensions=("cell",),
+                aggregators={"m": MomentsSketchAggregator(k=K)},
+                granularity=1.0, processing_threads=1)
+
+        legacy = engine()
+        legacy.ingest(timestamps, [cell_ids], data)
+        target = engine()
+        with IngestSession(target) as session:
+            session.append_columns(data, dims=[cell_ids],
+                                   timestamps=timestamps)
+        assert len(target.segments) == len(legacy.segments) == 5
+        assert self._moments(target) == self._moments(legacy)
+
+    def test_packed_store(self, data):
+        legacy = PackedSketchStore(k=K)
+        for start in range(0, data.size, CELL):
+            legacy.accumulate_row(legacy.new_row(), data[start:start + CELL])
+        target = PackedSketchStore(k=K)
+        cell_ids = np.arange(data.size) // CELL
+        spec = IngestSpec(dimensions=("cell",))
+        with IngestSession(target, spec) as session:
+            session.append_columns(data, dims=[cell_ids])
+        assert len(target) == len(legacy)
+        assert np.array_equal(target.power_sums[:len(target)],
+                              legacy.power_sums[:len(legacy)])
+        assert self._moments(target) == self._moments(legacy)
+
+    def test_window(self, data):
+        def monitor():
+            return StreamingWindowMonitor(pane_size=CELL, window_panes=10,
+                                          threshold=float("inf"), k=K)
+
+        legacy = monitor()
+        legacy.ingest(data)
+        target = monitor()
+        with IngestSession(target) as session:
+            session.append_columns(data)
+        assert self._moments(list(target._panes)) \
+            == self._moments(list(legacy._panes))
+        assert target.current_window.power_sums.tolist() \
+            == legacy.current_window.power_sums.tolist()
+
+    def test_cluster(self, data):
+        cell_ids = np.arange(data.size) // CELL
+
+        def cluster():
+            return ClusterCoordinator(
+                dimensions=("cell",),
+                aggregators={"m": MomentsSketchAggregator(k=K)},
+                num_shards=16, replication=2, granularity=1.0,
+                nodes=["n0", "n1", "n2"])
+
+        legacy = cluster()
+        timestamps = legacy.shard_ids([cell_ids]).astype(float)
+        legacy.ingest(timestamps, [cell_ids], data)
+        target = cluster()
+        with IngestSession(target, dedup_key="gate") as session:
+            session.append_columns(data, dims=[cell_ids],
+                                   timestamps=timestamps)
+        assert self._moments(target) == self._moments(legacy)
+
+    def test_cluster_replay_idempotent_across_replicas(self, data):
+        cell_ids = np.arange(data.size) // CELL
+        cluster = ClusterCoordinator(
+            dimensions=("cell",),
+            aggregators={"m": MomentsSketchAggregator(k=K)},
+            num_shards=16, replication=2, granularity=1.0,
+            nodes=["n0", "n1", "n2"])
+        timestamps = cluster.shard_ids([cell_ids]).astype(float)
+        backend = as_write_backend(cluster)
+        batch = make_batch(data, dims=[cell_ids], timestamps=timestamps,
+                           sequence=("gate", 0))
+        backend.write(batch)
+        before = self._moments(cluster)
+        # Replay before and after a failover repair: no replica may
+        # double-count, including ones rebuilt from snapshots.
+        assert backend.write(batch).replicas == 0
+        cluster.fail_node("n1", repair=True)
+        assert backend.write(batch).replicas == 0
+        assert self._moments(cluster) == before
+
+
+class TestIngestEquivalenceProperties:
+    """Hypothesis gate: any rows, any batch split — session == legacy."""
+
+    values_strategy = st.lists(
+        st.floats(min_value=0.01, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=4, max_size=120)
+
+    @given(values=values_strategy, cardinality=st.integers(1, 6),
+           splits=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_cube_session_matches_legacy_bitwise(self, values, cardinality,
+                                                 splits):
+        values = np.asarray(values, dtype=float)
+        dims = (np.arange(values.size) % cardinality).astype(int)
+        bounds = np.linspace(0, values.size, splits + 1).astype(int)
+        legacy = DataCube(CubeSchema(("d",)), lambda: MomentsSummary(k=6))
+        target = DataCube(CubeSchema(("d",)), lambda: MomentsSummary(k=6))
+        session = IngestSession(target, flush_rows=None)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if lo == hi:
+                continue
+            legacy.ingest([dims[lo:hi]], values[lo:hi])
+            session.append_columns(values[lo:hi], dims=[dims[lo:hi]])
+            session.flush()
+        session.close()
+        assert np.array_equal(
+            target.store.power_sums[:target.num_cells],
+            legacy.store.power_sums[:legacy.num_cells])
+        assert np.array_equal(target.store.log_sums[:target.num_cells],
+                              legacy.store.log_sums[:legacy.num_cells])

@@ -220,3 +220,18 @@ class TestPackedCells:
             build_packed_cells(np.arange(10.0), cell_size=0)
         with pytest.raises(ValueError):
             run_packed_query(build_packed_cells(np.zeros(0), cell_size=10))
+
+    def test_ingest_packed_cells_matches_builder_bitwise(self):
+        from repro.workload import ingest_packed_cells
+        rng = np.random.default_rng(23)
+        data = rng.lognormal(1, 1, 10_050)
+        direct = build_packed_cells(data, cell_size=128, k=8)
+        via_api = ingest_packed_cells(data, cell_size=128, k=8)
+        assert via_api.num_cells == direct.num_cells
+        n = direct.num_cells
+        assert np.array_equal(via_api.store.power_sums[:n],
+                              direct.store.power_sums[:n])
+        assert np.array_equal(via_api.store.log_sums[:n],
+                              direct.store.log_sums[:n])
+        with pytest.raises(ValueError):
+            ingest_packed_cells(np.arange(10.0), cell_size=0)
