@@ -1,14 +1,16 @@
 # Test and benchmark entry points.  `make test` is the CI gate: byte
 # compilation, tier-1 tests, plus smoke runs of the packed-merge,
-# batched-query, cluster-scaling, and ingestion benchmarks, which fail
-# on any packed-vs-loop divergence, broken scan sharing, cluster answers
-# that are not bit-exact across topologies and failovers, non-idempotent
-# batch replay, or a columnar ingest speedup below 5x.
+# batched-query, cluster-scaling, ingestion, and batched-group-solve
+# benchmarks, which fail on any packed-vs-loop divergence, broken scan
+# sharing, cluster answers that are not bit-exact across topologies and
+# failovers, non-idempotent batch replay, a columnar ingest speedup
+# below 5x, or a batched group solve below 3x at 1024 cells (or with
+# decisions that diverge from the scalar path).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench
+.PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench-solve bench
 
 test:
 	$(PYTHON) -m compileall -q src
@@ -17,6 +19,7 @@ test:
 	$(PYTHON) benchmarks/bench_execute_batch.py --quick
 	$(PYTHON) benchmarks/bench_cluster_scaling.py --quick
 	$(PYTHON) benchmarks/bench_ingest.py --quick
+	$(PYTHON) benchmarks/bench_group_solve.py --quick
 
 bench-merge:
 	$(PYTHON) benchmarks/bench_batch_merge.py --require-speedup 10
@@ -29,6 +32,9 @@ bench-cluster:
 
 bench-ingest:
 	$(PYTHON) benchmarks/bench_ingest.py --require-speedup 5
+
+bench-solve:
+	$(PYTHON) benchmarks/bench_group_solve.py --require-speedup 3
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

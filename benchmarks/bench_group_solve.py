@@ -1,0 +1,155 @@
+"""Batched vs per-sketch max-entropy group solves (repro.core.batch_solver).
+
+Measures what the batched estimation layer buys on the paper's dominant
+high-cardinality cost (Figure 5 / Section 5.2): a group-by over N packed
+cells pays either N scalar Newton solves (``batched=False``) or one
+stacked solve for all groups (``batched=True``, the default everywhere).
+The run also asserts the layer's correctness contract:
+
+* quantile estimates within 1e-6 (relative) of the scalar path,
+* top-N rankings bit-identical between the two paths,
+* threshold-cascade counts *and per-group deciding stages* bit-identical,
+* the batched solve reported once (``solve_calls == 1``), not per cell.
+
+Usage::
+
+    python benchmarks/bench_group_solve.py                   # gate at 1024
+    python benchmarks/bench_group_solve.py --quick           # CI smoke
+    python benchmarks/bench_group_solve.py --full            # adds N=4096
+    python benchmarks/bench_group_solve.py --require-speedup 3
+
+Exits non-zero when the gate size misses the required speedup or any
+decision/estimate check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+# Allow running as a plain script from any working directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import PackedStoreBackend, QueryService, QuerySpec, qkey  # noqa: E402
+from repro.workload import build_packed_cells, run_group_query  # noqa: E402
+
+CELL_SIZE = 200
+GATE_CELLS = 1024
+
+
+def _services(cells, n):
+    keys = [(int(i),) for i in range(cells.num_cells)]
+    backend = PackedStoreBackend(cells.store, keys=keys, dimensions=("cell",),
+                                 config=cells.config,
+                                 rows=np.arange(n))
+    return (QueryService(cells=backend, batched=True),
+            QueryService(cells=backend, batched=False))
+
+
+def check_decisions(cells, n: int) -> list[str]:
+    """Bit-exactness of decisions + 1e-6 estimates, batched vs scalar."""
+    failures: list[str] = []
+    batched, scalar = _services(cells, n)
+
+    group = QuerySpec(kind="group_by", quantiles=(0.5, 0.99),
+                      group_dimension="cell")
+    rb, rs = batched.execute(group), scalar.execute(group)
+    if rb.timings.solve_route != "batched" or rb.timings.solve_calls != 1:
+        failures.append(
+            f"group_by must report one batched solve, got route="
+            f"{rb.timings.solve_route!r} calls={rb.timings.solve_calls}")
+    rel = max(abs(rb.groups[g][key] - rs.groups[g][key])
+              / max(abs(rs.groups[g][key]), 1e-300)
+              for g in rs.groups for key in (qkey(0.5), qkey(0.99)))
+    if rel > 1e-6:
+        failures.append(f"group_by estimates diverge: rel err {rel:.3g} > 1e-6")
+
+    top = QuerySpec(kind="top_n", quantiles=(0.99,), n=10,
+                    group_dimension="cell")
+    tb, ts = batched.execute(top), scalar.execute(top)
+    if [value for value, _ in tb.top] != [value for value, _ in ts.top]:
+        failures.append("top_n ranking differs between batched and scalar")
+
+    data = cells.data[: n * CELL_SIZE]
+    for t in np.quantile(data, (0.5, 0.95, 0.999)):
+        spec = QuerySpec(kind="threshold_count", quantiles=(0.99,),
+                         thresholds=(float(t),), group_dimension="cell")
+        cb, cs = batched.execute(spec), scalar.execute(spec)
+        if cb.value != cs.value:
+            failures.append(f"threshold count differs at t={t:.4g}: "
+                            f"{cb.value} vs {cs.value}")
+        stages_b = {g: o[qkey(float(t))]["stage"] for g, o in cb.groups.items()}
+        stages_s = {g: o[qkey(float(t))]["stage"] for g, o in cs.groups.items()}
+        if stages_b != stages_s:
+            failures.append(f"cascade deciding stages differ at t={t:.4g}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: N=256 and the 1024-cell gate only")
+    parser.add_argument("--full", action="store_true",
+                        help="also run N=64 and N=4096")
+    parser.add_argument("--require-speedup", type=float, default=3.0,
+                        help="minimum batched-vs-scalar solve speedup at "
+                             f"{GATE_CELLS} cells (default 3)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed runs per (size, path); the best run "
+                             "counts, shielding the gate from transient "
+                             "scheduler noise on shared CI runners")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.full:
+        sizes = (64, 256, 1024, 4096)
+    elif args.quick:
+        sizes = (256, 1024)
+    else:
+        sizes = (64, 256, 1024)
+    rng = np.random.default_rng(args.seed)
+    data = rng.lognormal(1.0, 1.0, max(sizes) * CELL_SIZE)
+    cells = build_packed_cells(data, cell_size=CELL_SIZE, k=10)
+    # Warm both paths (grid/coefficient caches) before timing.
+    run_group_query(cells, q=0.99, num_cells=64, batched=True)
+    run_group_query(cells, q=0.99, num_cells=64, batched=False)
+
+    print(f"{'cells':>6} {'batched_s':>10} {'scalar_s':>10} {'speedup':>8} "
+          f"{'solve_calls':>12}")
+    gate_speedup = None
+    repeats = max(args.repeats, 1)
+    for n in sizes:
+        batched = min(
+            (run_group_query(cells, q=0.99, num_cells=n, batched=True)
+             for _ in range(repeats)), key=lambda t: t.solve_seconds)
+        scalar = min(
+            (run_group_query(cells, q=0.99, num_cells=n, batched=False)
+             for _ in range(repeats)), key=lambda t: t.solve_seconds)
+        speedup = (scalar.solve_seconds / batched.solve_seconds
+                   if batched.solve_seconds else float("inf"))
+        if n == GATE_CELLS:
+            gate_speedup = speedup
+        print(f"{n:>6} {batched.solve_seconds:>10.4f} "
+              f"{scalar.solve_seconds:>10.4f} {speedup:>7.2f}x "
+              f"{batched.solve_calls:>12}")
+
+    failures = check_decisions(cells, min(256, max(sizes)))
+    if gate_speedup is not None and gate_speedup < args.require_speedup:
+        failures.append(
+            f"batched group solve at {GATE_CELLS} cells is only "
+            f"{gate_speedup:.2f}x the scalar path "
+            f"(required >= {args.require_speedup}x)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"OK: >= {args.require_speedup}x at {GATE_CELLS} cells; "
+          "decisions bit-identical; estimates within 1e-6")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,16 +12,18 @@ cached estimator serves every fused quantile), which is the Eq. 2
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
 import numpy as np
 
-from ..core.bounds import markov_bound, quantile_error_bound, rtt_bound
+from ..core.batch_solver import fit_estimators
+from ..core.bounds import (markov_bound, quantile_error_bound, rtt_bound,
+                           rtt_bound_batch)
 from ..core.cascade import ThresholdCascade
 from ..core.errors import QueryError
-from ..core.quantile import QuantileEstimator
-from ..core.sketch import MomentsSketch
+from ..core.quantile import QuantileEstimator, safe_estimate_quantiles
+from ..core.sketch import ColumnarMoments, MomentsSketch
 from ..core.solver import SolverConfig
 from ..druid.engine import _quantile_bracket
 from ..summaries.moments_summary import MomentsSummary
@@ -57,10 +59,20 @@ class QueryService:
     are adapted automatically via :func:`~repro.api.backends.as_backend`)
     or later with :meth:`register`.  The first registered backend is the
     default; ``spec.backend`` selects another by name.
+
+    ``batched`` (default on) routes every multi-group estimation phase —
+    ``group_by`` solves, ``top_n`` bracket pruning and scoring,
+    ``threshold_count`` cascades — through the batched max-entropy layer
+    (:mod:`repro.core.batch_solver`): one stacked Newton solve for all
+    surviving groups instead of one solve per group.  Pass
+    ``batched=False`` to A/B the scalar per-group path; the response's
+    ``timings.solve_route``/``solve_calls`` report which path ran.
     """
 
-    def __init__(self, *args, config: SolverConfig | None = None, **named):
+    def __init__(self, *args, config: SolverConfig | None = None,
+                 batched: bool = True, **named):
         self.config = config or SolverConfig()
+        self.batched = bool(batched)
         self._backends: dict[str, Backend] = {}
         self._default: str | None = None
         self.last_batch_report: BatchReport | None = None
@@ -185,6 +197,61 @@ class QueryService:
             return np.asarray(estimator.quantiles(qs), dtype=float)
         return np.asarray(summary.quantiles(qs), dtype=float)
 
+    def _group_estimates(self, spec: QuerySpec, summaries: list
+                         ) -> tuple[list[np.ndarray], int, str]:
+        """Per-summary quantile estimates for a group scan.
+
+        On the batched route every moments-backed summary joins one
+        stacked max-entropy solve (``fit_estimators``); the solved
+        estimator is seeded back into the summary's cache so later
+        per-group ``quantile`` calls are free.  Summaries without a raw
+        sketch (non-moments aggregators) fall back to their own scalar
+        path.  Returns ``(estimates, solve_calls, solve_route)``.
+        """
+        qs = np.asarray(spec.quantiles, dtype=float)
+        if not self.batched:
+            return ([np.atleast_1d(self._estimates(spec, summary))
+                     for summary in summaries], len(summaries), "scalar")
+        out: list = [None] * len(summaries)
+        # Fit with the config the scalar route would use: the summary's
+        # own config on the "auto" path (summary.quantiles), the
+        # service config for estimator="maxent" (matching _estimates).
+        # Distinct configs batch separately — in practice one group.
+        by_config: dict[SolverConfig, list[int]] = {}
+        for index, summary in enumerate(summaries):
+            if sketch_of(summary) is None:
+                continue
+            config = (self.config if spec.estimator == "maxent"
+                      else getattr(summary, "config", None) or self.config)
+            by_config.setdefault(config, []).append(index)
+        calls = 0
+        for config, rows in by_config.items():
+            sketches = [summaries[index].sketch for index in rows]
+            estimators, errors, _ = fit_estimators(
+                sketches, config,
+                allow_backoff=spec.estimator != "maxent")
+            calls += 1
+            for position, index in enumerate(rows):
+                estimator = estimators[position]
+                if estimator is None:
+                    if spec.estimator == "maxent":
+                        raise errors[position]
+                    # Near-discrete group: the production degradation of
+                    # MomentsSummary.quantiles (two-point-mass model).
+                    out[index] = safe_estimate_quantiles(
+                        sketches[position], qs, config)
+                    continue
+                summary = summaries[index]
+                if isinstance(summary, MomentsSummary) \
+                        and spec.estimator != "maxent":
+                    summary._estimator = estimator
+                out[index] = np.atleast_1d(estimator.quantiles(qs))
+        for index, summary in enumerate(summaries):
+            if out[index] is None:
+                out[index] = np.atleast_1d(self._estimates(spec, summary))
+                calls += 1
+        return out, calls, "batched"
+
     def _finish_rollup(self, spec: QuerySpec, the_plan: QueryPlan,
                        result: RollupResult, timings: QueryTimings,
                        shared: bool) -> QueryResponse:
@@ -193,6 +260,8 @@ class QueryService:
         count = getattr(summary, "count", None)
         moments = (_moments_payload(sketch)
                    if spec.report_moments and sketch is not None else None)
+        solve_calls = 0
+        solve_route = ""
         start = time.perf_counter()
         if spec.kind == "quantile":
             estimates_arr = self._estimates(spec, summary)
@@ -223,7 +292,8 @@ class QueryService:
             groups = None
         else:  # threshold_count without a grouping dimension
             groups_map = {"*": summary}
-            estimates, groups, value = self._threshold_outcomes(spec, groups_map)
+            estimates, groups, value, solve_calls, solve_route = \
+                self._threshold_outcomes(spec, groups_map)
             bounds = None
         solve = time.perf_counter() - start
         return QueryResponse(
@@ -235,31 +305,62 @@ class QueryService:
             shared_scan=shared,
             timings=QueryTimings(planner_seconds=timings.planner_seconds,
                                  merge_seconds=timings.merge_seconds,
-                                 solve_seconds=solve))
+                                 solve_seconds=solve, solve_calls=solve_calls,
+                                 solve_route=solve_route))
 
     def _threshold_outcomes(self, spec: QuerySpec, groups_map: Mapping
-                            ) -> tuple[dict, dict, float]:
-        """Cascade every group against every threshold (Eq. 3 counting)."""
+                            ) -> tuple[dict, dict, float, int, str]:
+        """Cascade every group against every threshold (Eq. 3 counting).
+
+        On the batched route the whole group set runs through
+        :meth:`ThresholdCascade.evaluate_batch` per threshold — the
+        vectorized bound stages filter all cells at once and the
+        survivors share one batched max-entropy solve — with decisions
+        identical to the per-cell cascade.  Falls back to the scalar
+        loop when any group lacks a raw moments sketch.  Also returns
+        the number of solve/cascade invocations and the route that
+        actually ran (``"batched"``/``"scalar"``) for the timings.
+        """
         cascade = ThresholdCascade(config=self.config,
                                    enabled_stages=spec.cascade_stages)
         q = spec.q
         groups_payload: dict = {}
         counts = {qkey(t): 0 for t in spec.thresholds}
-        for value, summary in groups_map.items():
-            sketch = sketch_of(summary)
-            outcomes = {}
+        sketches = [sketch_of(summary) for summary in groups_map.values()]
+        if self.batched and groups_map and all(
+                sketch is not None for sketch in sketches):
+            route = "batched"
+            # One columnar gather serves every threshold's cascade pass.
+            block = ColumnarMoments.from_sketches(sketches)
+            groups_payload = {value: {} for value in groups_map}
             for t in spec.thresholds:
-                if sketch is not None:
-                    outcome = cascade.evaluate(sketch, t, q)
-                    exceeds, stage = outcome.result, outcome.stage
-                else:
-                    exceeds, stage = bool(summary.quantile(q) > t), "estimate"
-                outcomes[qkey(t)] = {"exceeds": exceeds, "stage": stage}
-                if exceeds:
-                    counts[qkey(t)] += 1
-            groups_payload[value] = outcomes
+                outcomes = cascade.evaluate_batch(block, t, q)
+                for value, outcome in zip(groups_map, outcomes):
+                    groups_payload[value][qkey(t)] = {
+                        "exceeds": outcome.result, "stage": outcome.stage}
+                    if outcome.result:
+                        counts[qkey(t)] += 1
+            calls = len(spec.thresholds)
+        else:
+            route = "scalar"
+            for value, summary in groups_map.items():
+                sketch = sketch_of(summary)
+                outcomes = {}
+                for t in spec.thresholds:
+                    if sketch is not None:
+                        outcome = cascade.evaluate(sketch, t, q)
+                        exceeds, stage = outcome.result, outcome.stage
+                    else:
+                        exceeds = bool(summary.quantile(q) > t)
+                        stage = "estimate"
+                    outcomes[qkey(t)] = {"exceeds": exceeds, "stage": stage}
+                    if exceeds:
+                        counts[qkey(t)] += 1
+                groups_payload[value] = outcomes
+            calls = len(groups_map) * len(spec.thresholds)
         estimates = {key: float(n) for key, n in counts.items()}
-        return estimates, groups_payload, estimates[qkey(spec.thresholds[0])]
+        return (estimates, groups_payload, estimates[qkey(spec.thresholds[0])],
+                calls, route)
 
     # ------------------------------------------------------------------
     # Group kinds
@@ -274,25 +375,28 @@ class QueryService:
         start = time.perf_counter()
         top = None
         bounds = None
+        solve_route = "batched" if self.batched else "scalar"
         if spec.kind == "group_by":
             value = None
             estimates = None
+            arrays, solve_calls, solve_route = self._group_estimates(
+                spec, list(groups_map.values()))
             groups = {
-                group: {qkey(q): float(est) for q, est in
-                        zip(spec.quantiles,
-                            np.atleast_1d(self._estimates(spec, summary)))}
-                for group, summary in groups_map.items()}
+                group: {qkey(q): float(est)
+                        for q, est in zip(spec.quantiles, array)}
+                for group, array in zip(groups_map, arrays)}
             count = float(sum(getattr(s, "count", 0.0) or 0.0
                               for s in groups_map.values()))
         elif spec.kind == "top_n":
-            top = self._top_n(spec, groups_map)
+            top, solve_calls, solve_route = self._top_n(spec, groups_map)
             value = float(top[0][1]) if top else None
             estimates = None
             groups = None
             count = float(sum(getattr(s, "count", 0.0) or 0.0
                               for s in groups_map.values()))
         else:  # threshold_count over groups
-            estimates, groups, value = self._threshold_outcomes(spec, groups_map)
+            estimates, groups, value, solve_calls, solve_route = \
+                self._threshold_outcomes(spec, groups_map)
             count = float(sum(getattr(s, "count", 0.0) or 0.0
                               for s in groups_map.values()))
         solve = time.perf_counter() - start
@@ -303,16 +407,22 @@ class QueryService:
             merges=result.merge_calls, shared_scan=shared,
             timings=QueryTimings(planner_seconds=timings.planner_seconds,
                                  merge_seconds=timings.merge_seconds,
-                                 solve_seconds=solve))
+                                 solve_seconds=solve, solve_calls=solve_calls,
+                                 solve_route=solve_route))
 
-    def _top_n(self, spec: QuerySpec, groups_map: Mapping) -> list:
+    def _top_n(self, spec: QuerySpec, groups_map: Mapping
+               ) -> tuple[list, int, str]:
         """Bounds-pruned top-n ranking (Section 5's principle on ranking).
 
         Identical plan to the legacy ``top_n_by_quantile``: when every
         group is moments-backed and there are more groups than ``n``,
         RTT rank bounds bracket each group's quantile and groups whose
         best case cannot beat the n-th worst case are discarded before
-        any max-entropy solve.
+        any max-entropy solve.  On the batched route the bracket
+        bisection runs all groups through :func:`rtt_bound_batch` per
+        step (identical brackets, so identical pruning) and the
+        surviving candidates share one batched solve.  Also returns the
+        solve-call count for the timings.
         """
         n = spec.n or 1
         q = spec.q
@@ -320,18 +430,31 @@ class QueryService:
                     for value, summary in groups_map.items()
                     if isinstance(summary, MomentsSummary)}
         if len(sketches) == len(groups_map) and len(groups_map) > n:
-            brackets = {value: _quantile_bracket(sketch, q, rtt_bound)
-                        for value, sketch in sketches.items()}
+            if self.batched:
+                lows, highs = _quantile_brackets_batch(
+                    list(sketches.values()), q)
+                brackets = {value: (lows[i], highs[i])
+                            for i, value in enumerate(sketches)}
+            else:
+                brackets = {value: _quantile_bracket(sketch, q, rtt_bound)
+                            for value, sketch in sketches.items()}
             floors = sorted((b[0] for b in brackets.values()), reverse=True)
             cutoff = floors[n - 1]
             candidates = [value for value, (lo, hi) in brackets.items()
                           if hi >= cutoff]
         else:
             candidates = list(groups_map)
-        scored = [(value, float(groups_map[value].quantile(q)))
-                  for value in candidates]
+        # Score with the summaries' own estimation path (estimator
+        # "auto"), exactly like the historical `summary.quantile(q)`
+        # scoring — top_n never consulted spec.estimator.
+        scoring_spec = (spec if spec.estimator == "auto"
+                        else replace(spec, estimator="auto"))
+        arrays, calls, route = self._group_estimates(
+            scoring_spec, [groups_map[value] for value in candidates])
+        scored = [(value, float(array[0]))
+                  for value, array in zip(candidates, arrays)]
         scored.sort(key=lambda pair: pair[1], reverse=True)
-        return scored[:n]
+        return scored[:n], calls, route
 
     # ------------------------------------------------------------------
     # Windowed kind
@@ -348,6 +471,35 @@ class QueryService:
             timings=QueryTimings(planner_seconds=plan_seconds,
                                  merge_seconds=result.merge_seconds,
                                  solve_seconds=result.solve_seconds))
+
+
+def _quantile_brackets_batch(sketches: list, q: float
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`~repro.druid.engine._quantile_bracket` over cells.
+
+    Runs every group's bisection in lockstep, evaluating one
+    :func:`rtt_bound_batch` call per step over the still-undecided rows.
+    Each row probes exactly the midpoints the scalar bracket would, so
+    the returned ``[lower, upper]`` intervals — and therefore the top-n
+    pruning decisions — are identical.
+    """
+    moments = ColumnarMoments.from_sketches(sketches)
+    lows = moments.mins.copy()
+    highs = moments.maxs.copy()
+    targets = q * moments.counts
+    undecided = np.ones(len(moments), dtype=bool)
+    for _ in range(20):
+        rows = np.flatnonzero(undecided)
+        if rows.size == 0:
+            break
+        mids = 0.5 * (lows[rows] + highs[rows])
+        bounds = rtt_bound_batch(moments.take(rows), mids)
+        up = bounds.upper < targets[rows]    # quantile certainly above mid
+        down = bounds.lower > targets[rows]  # quantile certainly below mid
+        lows[rows[up]] = mids[up]
+        highs[rows[down]] = mids[down]
+        undecided[rows[~(up | down)]] = False  # bracket is [lo, hi]
+    return lows, highs
 
 
 def execute(spec, backend_obj, **adapter_kwargs) -> QueryResponse:

@@ -292,26 +292,43 @@ class QuerySpec:
 
 @dataclass(frozen=True)
 class QueryTimings:
-    """Eq. 2 cost decomposition: plan + scan, merge fold, estimator solve."""
+    """Eq. 2 cost decomposition: plan + scan, merge fold, estimator solve.
+
+    ``solve_route`` records which estimation path ran the solve phase on
+    kinds where both exist (``"batched"``: one stacked max-entropy solve
+    across all groups; ``"scalar"``: one solve per group), and
+    ``solve_calls`` how many solver invocations that was — ``1`` for a
+    batched group solve regardless of group count.  Both are omitted
+    from JSON when unset (single-summary kinds).
+    """
 
     planner_seconds: float = 0.0
     merge_seconds: float = 0.0
     solve_seconds: float = 0.0
+    solve_calls: int = 0
+    solve_route: str = ""
 
     @property
     def total_seconds(self) -> float:
         return self.planner_seconds + self.merge_seconds + self.solve_seconds
 
     def to_dict(self) -> dict:
-        return {"planner_seconds": self.planner_seconds,
-                "merge_seconds": self.merge_seconds,
-                "solve_seconds": self.solve_seconds}
+        payload = {"planner_seconds": self.planner_seconds,
+                   "merge_seconds": self.merge_seconds,
+                   "solve_seconds": self.solve_seconds}
+        if self.solve_calls:
+            payload["solve_calls"] = self.solve_calls
+        if self.solve_route:
+            payload["solve_route"] = self.solve_route
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "QueryTimings":
         return cls(planner_seconds=float(payload.get("planner_seconds", 0.0)),
                    merge_seconds=float(payload.get("merge_seconds", 0.0)),
-                   solve_seconds=float(payload.get("solve_seconds", 0.0)))
+                   solve_seconds=float(payload.get("solve_seconds", 0.0)),
+                   solve_calls=int(payload.get("solve_calls", 0)),
+                   solve_route=str(payload.get("solve_route", "")))
 
 
 @dataclass(frozen=True)

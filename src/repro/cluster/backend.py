@@ -14,6 +14,12 @@ full four-phase profile stays available on
 other backend: specs with equal scan signatures reuse one scatter-gather
 round's merged partials, so N quantile specs over the same filter cost
 one fan-out and one solve.
+
+Grouped kinds hand the gathered per-shard partials straight to the
+service's batched estimation layer: every group's merged sketch joins
+one stacked max-entropy solve (``timings.solve_route == "batched"``,
+``solve_calls == 1``), so cluster group-bys and top-n rankings pay one
+Newton pass regardless of group count.
 """
 
 from __future__ import annotations

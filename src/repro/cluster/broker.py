@@ -13,8 +13,12 @@ coordinator: given an aggregation query it
 3. **gathers** — combines the per-shard partial sketches (~200 bytes
    each at the paper's ``k = 10``) in ascending shard order with a strict
    left fold;
-4. leaves the single max-entropy **solve** to the query service, which
-   runs it once on the combined sketch.
+4. leaves the max-entropy **solve** to the query service: once on the
+   combined sketch for a roll-up, and — for group-bys — once *batched*
+   across every gathered group (the per-shard group partials feed
+   straight into :func:`repro.core.batch_solver.fit_estimators`, so a
+   10k-group scatter costs one stacked Newton pass, reported once as
+   ``solve_seconds``/``solve_calls=1``, not per cell).
 
 Because a shard's partial is a deterministic left fold over that shard's
 cells — computed identically by every replica — the gathered result is

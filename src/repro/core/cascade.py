@@ -15,6 +15,13 @@ cascade returns exactly the same answer the max-entropy estimate alone
 would — no false negatives or positives relative to the baseline
 (Section 5.2).  Per-stage hit counts and timings are collected for the
 Figure 13 analysis.
+
+:meth:`ThresholdCascade.evaluate_batch` runs the cascade over a whole
+cell set at once: the cheap stages filter with the vectorized bound
+kernels of :mod:`repro.core.bounds` (element-wise equal to their scalar
+counterparts, so stage decisions are bit-identical), and the surviving
+cells share one batched max-entropy solve
+(:func:`repro.core.batch_solver.fit_estimators`).
 """
 
 from __future__ import annotations
@@ -22,10 +29,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from .bounds import markov_bound, rtt_bound
-from .errors import ConvergenceError
+import numpy as np
+
+from .bounds import (markov_bound, markov_bound_batch, rtt_bound,
+                     rtt_bound_batch)
+from .errors import ConvergenceError, EmptySketchError
+from .params import normalize_q
 from .quantile import QuantileEstimator
-from .sketch import MomentsSketch
+from .sketch import ColumnarMoments, MomentsSketch
 from .solver import SolverConfig
 
 #: Cascade stage names, cheapest first.
@@ -87,7 +98,7 @@ class ThresholdOutcome:
 
 
 class ThresholdCascade:
-    """Evaluates ``quantile(phi) > t`` predicates over moments sketches.
+    """Evaluates ``quantile(q) > t`` predicates over moments sketches.
 
     ``enabled_stages`` restricts which filters run (the Figure 12/13 lesion
     adds them one at a time); the max-entropy fallback always runs last.
@@ -104,15 +115,23 @@ class ThresholdCascade:
 
     # ------------------------------------------------------------------
 
-    def threshold(self, sketch: MomentsSketch, t: float, phi: float) -> bool:
-        """Algorithm 2: is the phi-quantile estimate greater than ``t``?"""
-        return self.evaluate(sketch, t, phi).result
+    def threshold(self, sketch: MomentsSketch, t: float,
+                  q: float | None = None, *, phi: float | None = None) -> bool:
+        """Algorithm 2: is the q-quantile estimate greater than ``t``?
 
-    def evaluate(self, sketch: MomentsSketch, t: float, phi: float) -> ThresholdOutcome:
+        The ``phi=`` keyword is deprecated in favor of the canonical
+        ``q`` (see :func:`repro.core.params.normalize_q`).
+        """
+        return self.evaluate(sketch, t, q, phi=phi).result
+
+    def evaluate(self, sketch: MomentsSketch, t: float,
+                 q: float | None = None, *,
+                 phi: float | None = None) -> ThresholdOutcome:
         """Like :meth:`threshold` but reports which stage decided."""
+        q = normalize_q(q, phi)
         sketch.require_nonempty()
         self.stats.queries += 1
-        target_rank = sketch.count * phi
+        target_rank = sketch.count * q
 
         if "simple" in self.enabled_stages:
             outcome = self._timed("simple", self._simple, sketch, t)
@@ -126,8 +145,100 @@ class ThresholdCascade:
             outcome = self._timed("rtt", self._rtt, sketch, t, target_rank)
             if outcome is not None:
                 return ThresholdOutcome(outcome, "rtt")
-        result = self._timed("maxent", self._maxent, sketch, t, phi)
+        result = self._timed("maxent", self._maxent, sketch, t, q)
         return ThresholdOutcome(bool(result), "maxent")
+
+    def evaluate_batch(self, sketches, t: float, q: float | None = None, *,
+                       phi: float | None = None) -> list[ThresholdOutcome]:
+        """Run the cascade over a whole cell set with batched stages.
+
+        ``sketches`` is a sequence of :class:`MomentsSketch` or a
+        :class:`~repro.core.sketch.ColumnarMoments` block (e.g. from
+        :meth:`repro.store.PackedSketchStore.moment_columns`).  Each
+        filter stage evaluates its bound for every still-undecided cell
+        with one vectorized kernel; cells that survive all bounds share
+        one batched max-entropy solve.  The vectorized bounds are
+        element-wise equal to their scalar counterparts, so every
+        bound-stage decision is exactly the one :meth:`evaluate` makes;
+        maxent-stage decisions compare the batched estimate (which
+        agrees with the scalar estimate to ~1e-13 relative) against
+        ``t``, so they can only differ for a cell whose estimate sits
+        within that slack of the threshold — never observed in practice
+        and gated in CI.  Per-stage stats record the batched timings
+        (one span per stage, not one per cell).
+        """
+        q = normalize_q(q, phi)
+        if isinstance(sketches, ColumnarMoments):
+            moments = sketches
+            cells: list[MomentsSketch | None] = [None] * len(moments)
+        else:
+            cells = list(sketches)
+            moments = ColumnarMoments.from_sketches(cells)
+        if np.any(moments.counts <= 0):
+            raise EmptySketchError("sketch holds no data")
+        size = len(moments)
+        self.stats.queries += size
+        target_ranks = moments.counts * q
+        results = np.zeros(size, dtype=bool)
+        stages = [""] * size
+        undecided = np.arange(size)
+
+        def record(local_decided: np.ndarray, values: np.ndarray,
+                   stage: str) -> np.ndarray:
+            rows = undecided[local_decided]
+            results[rows] = values[local_decided]
+            for row in rows:
+                stages[row] = stage
+            return undecided[~local_decided]
+
+        if "simple" in self.enabled_stages and undecided.size:
+            stats = self.stats.stages["simple"]
+            stats.entered += undecided.size
+            start = time.perf_counter()
+            mins = moments.mins[undecided]
+            maxs = moments.maxs[undecided]
+            decided = (t >= maxs) | (t < mins)
+            undecided = record(decided, t < mins, "simple")
+            stats.seconds += time.perf_counter() - start
+            stats.resolved += int(decided.sum())
+        for name, bound_batch in (("markov", markov_bound_batch),
+                                  ("rtt", rtt_bound_batch)):
+            if name not in self.enabled_stages or not undecided.size:
+                continue
+            stats = self.stats.stages[name]
+            stats.entered += undecided.size
+            start = time.perf_counter()
+            bounds = bound_batch(moments.take(undecided), t)
+            exceeds = bounds.upper < target_ranks[undecided]
+            misses = bounds.lower > target_ranks[undecided]
+            decided = exceeds | misses
+            undecided = record(decided, exceeds, name)
+            stats.seconds += time.perf_counter() - start
+            stats.resolved += int(decided.sum())
+        if undecided.size:
+            stats = self.stats.stages["maxent"]
+            stats.entered += undecided.size
+            start = time.perf_counter()
+            survivors = [cells[row] if cells[row] is not None
+                         else moments.sketch_at(row) for row in undecided]
+            from .batch_solver import fit_estimators
+            estimators, _, _ = fit_estimators(survivors, self.config)
+            for position, row in enumerate(undecided):
+                estimator = estimators[position]
+                if estimator is None:
+                    # Non-convergent (near-discrete) cell: same sound
+                    # degradation as the scalar maxent stage — the CDF
+                    # midpoint of the RTT bounds.
+                    bounds = rtt_bound(survivors[position], t)
+                    lo, hi = bounds.fraction()
+                    results[row] = 0.5 * (lo + hi) < q
+                else:
+                    results[row] = estimator.quantile(q) > t
+                stages[row] = "maxent"
+            stats.seconds += time.perf_counter() - start
+            stats.resolved += int(undecided.size)
+        return [ThresholdOutcome(bool(results[row]), stages[row])
+                for row in range(size)]
 
     # ------------------------------------------------------------------
     # Stages
@@ -175,7 +286,7 @@ class ThresholdCascade:
         bounds = rtt_bound(sketch, t)
         return self._check_rank_bounds(bounds.lower, bounds.upper, target_rank)
 
-    def _maxent(self, sketch: MomentsSketch, t: float, phi: float) -> bool:
+    def _maxent(self, sketch: MomentsSketch, t: float, q: float) -> bool:
         """Final stage: full estimate.  Convergence failures use the CDF
         midpoint of the RTT bounds, the only sound degradation available."""
         try:
@@ -183,5 +294,5 @@ class ThresholdCascade:
         except ConvergenceError:
             bounds = rtt_bound(sketch, t)
             lo, hi = bounds.fraction()
-            return 0.5 * (lo + hi) < phi
-        return estimator.quantile(phi) > t
+            return 0.5 * (lo + hi) < q
+        return estimator.quantile(q) > t

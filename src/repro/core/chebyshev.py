@@ -87,16 +87,23 @@ def eval_chebyshev_series(coeffs: np.ndarray, u: np.ndarray) -> np.ndarray:
     return u * b_cur - b_next + coeffs[0]
 
 
+@functools.lru_cache(maxsize=16)
 def chebyshev_nodes(n: int) -> np.ndarray:
     """Chebyshev-Gauss-Lobatto nodes ``cos(pi * j / n)`` for ``j = 0..n``.
 
     These are the Clenshaw-Curtis quadrature points, returned in descending
     order (node 0 is +1).  ``n`` must be a positive even integer; even sizes
     give quadrature rules with the symmetric weight structure used below.
+
+    Cached (read-only): every solve on a given grid size shares one node
+    array, which the batched solver relies on to stack problems without
+    re-deriving per-problem grids.
     """
     if n <= 0 or n % 2 != 0:
         raise ValueError(f"n must be positive and even, got {n}")
-    return np.cos(np.pi * np.arange(n + 1) / n)
+    nodes = np.cos(np.pi * np.arange(n + 1) / n)
+    nodes.setflags(write=False)
+    return nodes
 
 
 def interpolation_coefficients(values: np.ndarray) -> np.ndarray:
@@ -149,6 +156,7 @@ def antiderivative_series(coeffs: np.ndarray) -> np.ndarray:
     return b
 
 
+@functools.lru_cache(maxsize=16)
 def clenshaw_curtis_weights(n: int) -> np.ndarray:
     """Clenshaw-Curtis quadrature weights for the ``n + 1`` Lobatto nodes.
 
@@ -156,6 +164,8 @@ def clenshaw_curtis_weights(n: int) -> np.ndarray:
     degree-``n`` Chebyshev interpolant of ``f``.  Computed via the DCT route:
     the weight vector is the image of the per-mode integrals under the
     (symmetric) transform that maps node values to coefficients.
+
+    Cached (read-only), like :func:`chebyshev_nodes`.
     """
     if n <= 0 or n % 2 != 0:
         raise ValueError(f"n must be positive and even, got {n}")
@@ -170,7 +180,33 @@ def clenshaw_curtis_weights(n: int) -> np.ndarray:
     weights = dct(mode_integrals, type=1) / n
     weights[0] *= 0.5
     weights[-1] *= 0.5
+    weights.setflags(write=False)
     return weights
+
+
+def eval_chebyshev_series_stacked(coeffs: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Row-wise Clenshaw: series ``p`` has coefficients ``coeffs[p]``.
+
+    ``coeffs`` is ``(P, L)``, ``u`` is ``(G,)`` (shared across rows); the
+    result is ``(P, G)`` with row ``p`` equal — bit for bit — to
+    ``eval_chebyshev_series(coeffs[p], u)``.  Rows whose series are
+    shorter than ``L`` must be padded with *trailing* zeros: Clenshaw
+    iterates from the highest coefficient down, and a zero coefficient
+    leaves the recurrence state untouched exactly, so zero padding
+    changes nothing (the batched CDF tabulation depends on this).
+    """
+    coeffs = np.asarray(coeffs, dtype=float)
+    u = np.asarray(u, dtype=float)
+    if coeffs.ndim != 2:
+        raise ValueError("coeffs must be a (P, L) matrix")
+    if coeffs.shape[1] == 0:
+        return np.zeros((coeffs.shape[0],) + u.shape)
+    b_next = np.zeros((coeffs.shape[0],) + u.shape)
+    b_cur = np.zeros_like(b_next)
+    column = (slice(None),) + (None,) * u.ndim
+    for j in range(coeffs.shape[1] - 1, 0, -1):
+        b_cur, b_next = 2.0 * u * b_cur - b_next + coeffs[:, j][column], b_cur
+    return u * b_cur - b_next + coeffs[:, 0][column]
 
 
 def multiply_series(a: np.ndarray, b: np.ndarray) -> np.ndarray:

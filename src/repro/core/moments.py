@@ -104,21 +104,40 @@ def binomial_table(size: int) -> np.ndarray:
     return table
 
 
-def shifted_moments(mu: np.ndarray, shift: float) -> np.ndarray:
+def shifted_moments(mu: np.ndarray, shift) -> np.ndarray:
     """``E[(x - shift)**k]`` for every k, from raw moments of ``x``.
 
     One vectorized binomial expansion (Appendix B):
     ``E[(x - shift)**k] = sum_i C(k, i) mu_i (-shift)**(k - i)``.  This sits
     on the hot path of the moment bounds, which the threshold cascade calls
     once per subgroup.
+
+    Stacked form: ``mu`` may be ``(rows, size)`` with a matching
+    ``(rows,)`` array of shifts, evaluating every row in one pass.  The
+    stacked contraction is an explicit left fold over the moment index
+    (elementwise operations only), so every row of a stacked call is
+    bit-for-bit identical regardless of which other rows share the batch
+    — the property the vectorized cascade bounds are gated on.  (The
+    scalar bound entry points delegate to the batched kernels, so the
+    1-D fast path below is only reached by the solver's per-problem
+    target computation.)
     """
     mu = np.asarray(mu, dtype=float)
-    size = mu.size
+    size = mu.shape[-1]
     pascal, exponent_index = _shift_structure(size)
+    if mu.ndim == 1:
+        with np.errstate(all="ignore"):
+            powers = (-float(shift)) ** np.arange(size)
+            out = (pascal * powers[exponent_index]) @ mu
+        out[0] = 1.0
+        return out
     with np.errstate(all="ignore"):
-        powers = (-float(shift)) ** np.arange(size)
-        out = (pascal * powers[exponent_index]) @ mu
-    out[0] = 1.0
+        powers = (-np.asarray(shift, dtype=float))[..., None] ** np.arange(size)
+        matrix = pascal * powers[..., exponent_index]
+        out = matrix[..., :, 0] * mu[..., 0, None]
+        for j in range(1, size):
+            out += matrix[..., :, j] * mu[..., j, None]
+    out[..., 0] = 1.0
     return out
 
 

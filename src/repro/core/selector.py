@@ -18,6 +18,7 @@ Appendix B:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +32,8 @@ from .moments import (
     uniform_chebyshev_moments,
 )
 from .sketch import MomentsSketch
-from .solver import MaxEntBasis, SolverConfig, build_basis, condition_number, uniform_hessian
+from .solver import (MaxEntBasis, SolverConfig, build_bases_batch, build_basis,
+                     condition_number, uniform_hessian)
 
 
 @dataclass(frozen=True)
@@ -88,9 +90,13 @@ def select_moments(sketch: MomentsSketch, config: SolverConfig | None = None,
         max_k2 = 0
     max_k1 = max(max_k1, 1)
 
-    # One full-order basis gives every subset's rows and target moments.
+    # One full-order basis gives every subset's rows and target moments,
+    # and one full Gram matrix gives every candidate sub-Hessian by
+    # index slicing (H_sub = Gram[rows, rows], exactly the restricted
+    # uniform Hessian).
     full = build_basis(sketch, max_k1, max_k2, config)
     max_k2 = full.k2  # build_basis zeroes k2 when log moments are unusable
+    gram = uniform_hessian(full)
     uniform_std = uniform_chebyshev_moments(max_k1)
     uniform_log = _uniform_log_expectations(full) if max_k2 > 0 else np.zeros(0)
 
@@ -106,7 +112,8 @@ def select_moments(sketch: MomentsSketch, config: SolverConfig | None = None,
         for nk1, nk2 in ((k1 + 1, k2), (k1, k2 + 1)):
             if nk1 > max_k1 or nk2 > max_k2:
                 continue
-            cond = condition_number(uniform_hessian(full, _row_indices(full, nk1, nk2)))
+            rows = _row_indices(full, nk1, nk2)
+            cond = condition_number(gram[np.ix_(rows, rows)])
             if cond >= config.max_condition_number:
                 continue
             if nk1 > k1:
@@ -121,18 +128,129 @@ def select_moments(sketch: MomentsSketch, config: SolverConfig | None = None,
     if k1 + k2 == 0:
         # Nothing fit the budget; fall back to the first standard moment.
         k1, k2 = 1, 0
-        current_cond = condition_number(
-            uniform_hessian(full, _row_indices(full, 1, 0)))
+        rows = _row_indices(full, 1, 0)
+        current_cond = condition_number(gram[np.ix_(rows, rows)])
     return MomentSelection(k1=k1, k2=k2, condition=current_cond,
                            max_stable_k1=max_k1, max_stable_k2=max_k2)
 
 
+def select_moments_batch(sketches, config: SolverConfig | None = None,
+                         use_log: bool = True) -> list[MomentSelection]:
+    """Run :func:`select_moments` for many sketches, sharing the SVD work.
+
+    The greedy k1/k2 searches advance in lockstep: every round gathers
+    each still-growing problem's candidate sub-Hessians, groups them by
+    size, and evaluates their condition numbers with one stacked
+    ``np.linalg.svd`` per size (numpy's stacked SVD runs the identical
+    LAPACK factorization slice by slice, so each condition number — and
+    therefore each selection — is bit-for-bit what the scalar search
+    produces).  This amortizes the ~2(k1+k2) tiny SVDs per problem that
+    dominate scalar selection time on high-cardinality group queries.
+    """
+    config = config or SolverConfig()
+    sketches = list(sketches)
+    caps = []
+    for sketch in sketches:
+        max_k1, max_k2 = stable_moment_counts(sketch)
+        if not use_log:
+            max_k2 = 0
+        caps.append((max(max_k1, 1), max_k2))
+    fulls = build_bases_batch(sketches, [c[0] for c in caps],
+                              [c[1] for c in caps], config)
+    states: list[dict] = []
+    for (max_k1, _), full in zip(caps, fulls):
+        max_k2 = full.k2  # build zeroes k2 when log moments are unusable
+        states.append({
+            "full": full, "max_k1": max_k1, "max_k2": max_k2,
+            "gram": uniform_hessian(full),
+            "uniform_std": uniform_chebyshev_moments(max_k1),
+            "uniform_log": (_uniform_log_expectations(full)
+                            if max_k2 > 0 else np.zeros(0)),
+            "k1": 0, "k2": 0, "cond": 1.0, "active": True,
+        })
+    while True:
+        owners: list[tuple[int, int, int]] = []
+        hessians: list[np.ndarray] = []
+        for index, state in enumerate(states):
+            if not state["active"]:
+                continue
+            k1, k2 = state["k1"], state["k2"]
+            for nk1, nk2 in ((k1 + 1, k2), (k1, k2 + 1)):
+                if nk1 > state["max_k1"] or nk2 > state["max_k2"]:
+                    continue
+                rows = _row_indices(state["full"], nk1, nk2)
+                owners.append((index, nk1, nk2))
+                hessians.append(state["gram"][rows[:, None], rows[None, :]])
+        if not owners:
+            break
+        conds = _stacked_condition_numbers(hessians)
+        per_state: dict[int, list[tuple[float, int, int, float]]] = {}
+        for (index, nk1, nk2), cond in zip(owners, conds):
+            if cond >= config.max_condition_number:
+                continue
+            state = states[index]
+            if nk1 > state["k1"]:
+                distance = abs(state["full"].std_moments[nk1]
+                               - state["uniform_std"][nk1])
+            else:
+                distance = abs(state["full"].log_moments[nk2]
+                               - state["uniform_log"][nk2])
+            per_state.setdefault(index, []).append((distance, nk1, nk2, cond))
+        for index, state in enumerate(states):
+            if not state["active"]:
+                continue
+            candidates = per_state.get(index)
+            if not candidates:
+                state["active"] = False
+                continue
+            candidates.sort()
+            _, state["k1"], state["k2"], state["cond"] = candidates[0]
+    selections = []
+    for state in states:
+        k1, k2, cond = state["k1"], state["k2"], state["cond"]
+        if k1 + k2 == 0:
+            # Nothing fit the budget; fall back to the first standard moment.
+            k1, k2 = 1, 0
+            rows = _row_indices(state["full"], 1, 0)
+            cond = condition_number(state["gram"][np.ix_(rows, rows)])
+        selections.append(MomentSelection(
+            k1=k1, k2=k2, condition=float(cond),
+            max_stable_k1=state["max_k1"], max_stable_k2=state["max_k2"]))
+    return selections
+
+
+def _stacked_condition_numbers(matrices: list[np.ndarray]) -> np.ndarray:
+    """2-norm condition numbers via one stacked SVD per matrix size."""
+    out = np.empty(len(matrices))
+    by_size: dict[int, list[int]] = {}
+    for position, matrix in enumerate(matrices):
+        by_size.setdefault(matrix.shape[0], []).append(position)
+    for positions in by_size.values():
+        stack = np.stack([matrices[p] for p in positions])
+        try:
+            singular = np.linalg.svd(stack, compute_uv=False)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                conds = singular[:, 0] / singular[:, -1]
+        except np.linalg.LinAlgError:  # pragma: no cover - gesdd rarely fails
+            conds = np.asarray([condition_number(matrices[p])
+                                for p in positions])
+        out[positions] = conds
+    return out
+
+
 def _row_indices(basis: MaxEntBasis, k1: int, k2: int) -> np.ndarray:
     """Rows of the full basis matrix spanning the (k1, k2) sub-basis."""
+    return _row_indices_cached(basis.k1, k1, k2)
+
+
+@functools.lru_cache(maxsize=1024)
+def _row_indices_cached(full_k1: int, k1: int, k2: int) -> np.ndarray:
     rows = [0]
     rows.extend(range(1, 1 + k1))
-    rows.extend(range(1 + basis.k1, 1 + basis.k1 + k2))
-    return np.asarray(rows, dtype=int)
+    rows.extend(range(1 + full_k1, 1 + full_k1 + k2))
+    out = np.asarray(rows, dtype=int)
+    out.setflags(write=False)
+    return out
 
 
 def _uniform_log_expectations(basis: MaxEntBasis) -> np.ndarray:

@@ -300,6 +300,110 @@ class MomentsSketch:
                 f"order mismatch: {self.k} vs {other.k}")
 
 
+class ColumnarMoments:
+    """Structure-of-arrays view over N homogeneous sketches' statistics.
+
+    The hand-off format between columnar storage and the batched
+    estimation layer: the vectorized bound kernels
+    (:func:`repro.core.bounds.markov_bound_batch`,
+    :func:`repro.core.bounds.rtt_bound_batch`) and the cascade's
+    :meth:`~repro.core.cascade.ThresholdCascade.evaluate_batch` all
+    consume one of these instead of N sketch objects.
+    :meth:`repro.store.PackedSketchStore.moment_columns` produces one
+    zero-copy from packed rows; :meth:`from_sketches` gathers one from
+    standalone sketches.
+
+    ``power_sums``/``log_sums`` are ``(N, k + 1)`` with index 0
+    duplicating the count, exactly like the row layout of
+    :class:`~repro.store.PackedSketchStore`.
+    """
+
+    __slots__ = ("k", "track_log", "counts", "mins", "maxs",
+                 "power_sums", "log_sums", "log_valid")
+
+    def __init__(self, k: int, track_log: bool, counts: np.ndarray,
+                 mins: np.ndarray, maxs: np.ndarray, power_sums: np.ndarray,
+                 log_sums: np.ndarray, log_valid: np.ndarray):
+        self.k = int(k)
+        self.track_log = bool(track_log)
+        self.counts = np.asarray(counts, dtype=float)
+        self.mins = np.asarray(mins, dtype=float)
+        self.maxs = np.asarray(maxs, dtype=float)
+        self.power_sums = np.asarray(power_sums, dtype=float)
+        self.log_sums = np.asarray(log_sums, dtype=float)
+        self.log_valid = np.asarray(log_valid, dtype=bool)
+        n = self.counts.shape[0]
+        if not (self.mins.shape == self.maxs.shape == self.log_valid.shape
+                == (n,) and self.power_sums.shape == self.log_sums.shape
+                == (n, self.k + 1)):
+            raise SketchError("misaligned columnar moment arrays")
+
+    def __len__(self) -> int:
+        return self.counts.shape[0]
+
+    @classmethod
+    def from_sketches(cls, sketches: "Iterable[MomentsSketch]"
+                      ) -> "ColumnarMoments":
+        """Gather standalone sketches into one columnar block.
+
+        All sketches must share ``k``; log sums of non-log sketches are
+        zeros with ``log_valid`` false, mirroring
+        :meth:`repro.store.PackedSketchStore.set_row`.
+        """
+        sketches = list(sketches)
+        if not sketches:
+            raise EmptySketchError("need at least one sketch")
+        k = sketches[0].k
+        track_log = any(s.track_log for s in sketches)
+        n = len(sketches)
+        counts = np.empty(n)
+        mins = np.empty(n)
+        maxs = np.empty(n)
+        power_sums = np.empty((n, k + 1))
+        log_sums = np.zeros((n, k + 1))
+        log_valid = np.zeros(n, dtype=bool)
+        for i, sketch in enumerate(sketches):
+            if sketch.k != k:
+                raise IncompatibleSketchError(
+                    f"order mismatch: {k} vs {sketch.k}")
+            counts[i] = sketch.count
+            mins[i] = sketch.min
+            maxs[i] = sketch.max
+            power_sums[i] = sketch.power_sums
+            if sketch.track_log:
+                log_sums[i] = sketch.log_sums
+                log_valid[i] = sketch.log_valid
+        return cls(k=k, track_log=track_log, counts=counts, mins=mins,
+                   maxs=maxs, power_sums=power_sums, log_sums=log_sums,
+                   log_valid=log_valid)
+
+    def usable_log(self) -> np.ndarray:
+        """Per-row ``has_log_moments``: tracked, valid, and positive data."""
+        if not self.track_log:
+            return np.zeros(len(self), dtype=bool)
+        return self.log_valid & (self.mins > 0.0)
+
+    def take(self, rows) -> "ColumnarMoments":
+        """Gather a row subset into a new columnar block (copies)."""
+        rows = np.asarray(rows, dtype=np.intp)
+        return ColumnarMoments(
+            k=self.k, track_log=self.track_log, counts=self.counts[rows],
+            mins=self.mins[rows], maxs=self.maxs[rows],
+            power_sums=self.power_sums[rows], log_sums=self.log_sums[rows],
+            log_valid=self.log_valid[rows])
+
+    def sketch_at(self, row: int) -> MomentsSketch:
+        """Materialize one row as a standalone sketch (copies)."""
+        out = MomentsSketch(self.k, self.track_log)
+        out.count = float(self.counts[row])
+        out.min = float(self.mins[row])
+        out.max = float(self.maxs[row])
+        out.power_sums = self.power_sums[row].copy()
+        out.log_sums = self.log_sums[row].copy()
+        out.log_valid = bool(self.log_valid[row])
+        return out
+
+
 def merge_all(sketches: Iterable[MomentsSketch]) -> MomentsSketch:
     """Merge an iterable of sketches into a fresh sketch.
 

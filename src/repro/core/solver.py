@@ -204,6 +204,126 @@ def build_basis(sketch: MomentsSketch, k1: int, k2: int,
     return basis
 
 
+def build_bases_batch(sketches, k1s, k2s,
+                      config: SolverConfig | None = None) -> list[MaxEntBasis]:
+    """:func:`build_basis` for many sketches, stacking matrix evaluation.
+
+    Per-sketch validation, domain choice, and target moments replicate
+    the scalar path exactly; the basis-function evaluation — the O(k^2)
+    Chebyshev recurrences that dominate scalar construction — runs once
+    per distinct ``(k1, k2, domain)`` shape over stacked ``(P, grid)``
+    argument arrays.  Every returned basis is bit-for-bit what
+    ``build_basis`` produces for the same sketch.
+    """
+    config = config or SolverConfig()
+    nodes = chebyshev_nodes(config.grid_size)
+    weights = clenshaw_curtis_weights(config.grid_size)
+    bases: list[MaxEntBasis] = []
+    groups: dict[tuple, list[int]] = {}
+    for index, (sketch, k1, k2) in enumerate(zip(sketches, k1s, k2s)):
+        sketch.require_nonempty()
+        if k2 > 0 and not sketch.has_log_moments:
+            k2 = 0
+        if k1 < 0 or k2 < 0 or k1 + k2 == 0:
+            raise SketchError(f"invalid moment counts k1={k1}, k2={k2}")
+        if max(k1, k2) > sketch.k:
+            raise SketchError(f"requested order exceeds sketch order {sketch.k}")
+        support = ScaledSupport(sketch.min, sketch.max)
+        log_support = None
+        if sketch.has_log_moments:
+            log_support = ScaledSupport(float(np.log(sketch.min)),
+                                        float(np.log(sketch.max)))
+        domain = choose_domain(sketch, k2)
+        d_std = np.zeros(0)
+        d_log = np.zeros(0)
+        if k1 > 0:
+            d_std = power_sums_to_chebyshev_moments(
+                sketch.power_sums[: k1 + 1], sketch.count, support)
+        if k2 > 0:
+            assert log_support is not None
+            d_log = power_sums_to_chebyshev_moments(
+                sketch.log_sums[: k2 + 1], sketch.count, log_support)
+        basis = MaxEntBasis(
+            k1=k1, k2=k2, domain=domain, support=support,
+            log_support=log_support, nodes=nodes, weights=weights,
+            matrix=np.zeros((0, 0)), targets=np.zeros(0),
+            std_moments=d_std, log_moments=d_log)
+        targets = np.ones(basis.size)
+        if k1 > 0:
+            targets[1:1 + k1] = d_std[1:]
+        if k2 > 0:
+            targets[1 + k1:] = d_log[1:]
+        basis.targets = targets
+        bases.append(basis)
+        groups.setdefault((k1, k2, domain), []).append(index)
+    for indices in groups.values():
+        stacked = _basis_matrices_stacked([bases[i] for i in indices], nodes)
+        for position, index in enumerate(indices):
+            bases[index].matrix = stacked[position]
+    return bases
+
+
+def _basis_matrices_stacked(bases: list, u: np.ndarray) -> np.ndarray:
+    """Basis matrices of same-shape bases on grid ``u``, stacked ``(P, m, G)``.
+
+    All bases must share ``(k1, k2, domain)``.  Every operation is
+    element-wise over the stacked rows, so row ``p`` equals — bit for
+    bit — ``_basis_matrix_on(bases[p], u)``.
+    """
+    first = bases[0]
+    k1, k2, domain = first.k1, first.k2, first.domain
+    u = np.asarray(u, dtype=float)
+    count = len(bases)
+    out = np.empty((count, 1 + k1 + k2, u.size))
+    out[:, 0, :] = 1.0
+    if domain == "linear":
+        std_arg: np.ndarray | None = np.broadcast_to(u, (count, u.size))
+        log_arg = None
+        if k2 > 0:
+            centers = np.array([b.support.center for b in bases])
+            halves = np.array([b.support.half_width for b in bases])
+            los = np.array([b.support.lo for b in bases])
+            x = np.maximum(centers[:, None] + halves[:, None] * u,
+                           los[:, None])
+            log_centers = np.array([b.log_support.center for b in bases])
+            log_halves = np.array([b.log_support.half_width for b in bases])
+            log_arg = np.clip(
+                (np.log(x) - log_centers[:, None]) / log_halves[:, None],
+                -1.0, 1.0)
+    else:
+        log_arg = np.broadcast_to(u, (count, u.size))
+        std_arg = None
+        if k1 > 0:
+            log_centers = np.array([b.log_support.center for b in bases])
+            log_halves = np.array([b.log_support.half_width for b in bases])
+            x = np.exp(log_centers[:, None] + log_halves[:, None] * u)
+            centers = np.array([b.support.center for b in bases])
+            halves = np.array([b.support.half_width for b in bases])
+            std_arg = np.clip((x - centers[:, None]) / halves[:, None],
+                              -1.0, 1.0)
+    # One chained recurrence per argument family: T_k = 2u T_{k-1} - T_{k-2}
+    # yields every order in O(k) passes with values bit-identical to the
+    # per-order eval_chebyshev restarts (same operations, same order).
+    _chebyshev_rows_into(out, std_arg, offset=0, orders=k1)
+    _chebyshev_rows_into(out, log_arg, offset=k1, orders=k2)
+    return out
+
+
+def _chebyshev_rows_into(out: np.ndarray, arg: np.ndarray | None,
+                         offset: int, orders: int) -> None:
+    """Fill ``out[:, offset + 1 .. offset + orders]`` with ``T_i(arg)``."""
+    if orders <= 0:
+        return
+    assert arg is not None
+    out[:, offset + 1, :] = arg
+    for order in range(2, orders + 1):
+        # T_0 of every family is the shared constant row 0.
+        prev2 = (out[:, 0, :] if order == 2
+                 else out[:, offset + order - 2, :])
+        out[:, offset + order, :] = (2.0 * arg * out[:, offset + order - 1, :]
+                                     - prev2)
+
+
 def _basis_matrix_on(basis: MaxEntBasis, u: np.ndarray) -> np.ndarray:
     """Evaluate every basis function at integration-domain positions ``u``.
 
@@ -237,13 +357,42 @@ def _basis_matrix_on(basis: MaxEntBasis, u: np.ndarray) -> np.ndarray:
     return np.asarray(rows)
 
 
+def dual_potential(theta: np.ndarray, B: np.ndarray, w: np.ndarray,
+                   d: np.ndarray) -> float:
+    """The dual objective ``L(theta) = integral f - theta . d`` on the grid.
+
+    Part of the Newton kernel shared with :mod:`repro.core.batch_solver`
+    (whose stacked evaluation reproduces these operations row-wise).
+    Overflow is expected when a line search probes a too-long step; the
+    resulting ``inf`` is rejected by the Armijo test.
+    """
+    with np.errstate(over="ignore"):
+        f = np.exp(theta @ B)
+    return float(np.dot(w, f) - np.dot(theta, d))
+
+
+def newton_system(B: np.ndarray, wf: np.ndarray, d: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Gradient and Hessian of the dual at the density with ``w*f = wf``.
+
+    ``grad = B (w f) - d`` and ``H = B diag(w f) B^T`` — the two matmuls
+    that make up one Newton step (Section 4.3).  Shared kernel: the
+    batched solver evaluates the same contractions as stacked matmuls,
+    which numpy performs slice-by-slice with the identical BLAS kernels.
+    """
+    grad = B @ wf - d
+    hessian = (B * wf) @ B.T
+    return grad, hessian
+
+
 def solve(basis: MaxEntBasis, config: SolverConfig | None = None,
           theta0: np.ndarray | None = None) -> MaxEntResult:
     """Run damped Newton on the dual potential L(theta) (Appendix A.1).
 
     Raises :class:`ConvergenceError` when the iteration fails — the paper
     observes this on near-discrete data (Figure 8); callers may fall back to
-    moment bounds.
+    moment bounds.  :func:`repro.core.batch_solver.solve_batch` runs the
+    same iteration for many bases at once.
     """
     config = config or SolverConfig()
     B = basis.matrix
@@ -256,11 +405,7 @@ def solve(basis: MaxEntBasis, config: SolverConfig | None = None,
         theta[0] = np.log(0.5)  # uniform density integrating to 1 on [-1, 1]
 
     def potential(th: np.ndarray) -> float:
-        # Overflow is expected when the line search probes a too-long step;
-        # the resulting inf is rejected by the Armijo test.
-        with np.errstate(over="ignore"):
-            f = np.exp(th @ B)
-        return float(np.dot(w, f) - np.dot(th, d))
+        return dual_potential(th, B, w, d)
 
     lvalue = potential(theta)
     grad_norm = np.inf
@@ -272,13 +417,12 @@ def solve(basis: MaxEntBasis, config: SolverConfig | None = None,
                 "density overflow during Newton iteration",
                 iterations=iteration, grad_norm=grad_norm)
         wf = w * f
-        grad = B @ wf - d
+        grad, hessian = newton_system(B, wf, d)
         grad_norm = float(np.max(np.abs(grad)))
         if grad_norm < config.gradient_tol:
             result = MaxEntResult(basis, theta, iteration - 1, grad_norm, True)
             _verify_solution(basis, result, config)
             return result
-        hessian = (B * wf) @ B.T
         step = _solve_newton_step(hessian, grad, config.ridge)
         # Backtracking line search (Armijo on the convex dual).
         slope = float(np.dot(grad, step))

@@ -334,6 +334,31 @@ class DataCube:
                          filters=filters or {})
         return CubeBackend(self).group_rollup(spec).groups
 
+    def group_quantiles(self, dimension: str, q=None,
+                        filters: Mapping[str, object] | None = None, *,
+                        batched: bool = True,
+                        phi: float | None = None) -> dict[object, dict[str, float]]:
+        """Finalized quantile estimates per group, solved in one call.
+
+        Unlike :meth:`group_by` (which returns unsolved summaries), this
+        runs the unified API's ``group_by`` kind, so every surviving
+        group joins one batched max-entropy solve — the whole
+        high-cardinality estimation phase is a single stacked Newton
+        pass instead of one solve per group.  ``q`` may be a scalar or a
+        sequence of quantile fractions; the result maps each group value
+        to ``{qkey(q): estimate}``.  ``batched=False`` A/Bs the scalar
+        per-group path.  The ``phi=`` keyword is deprecated.
+        """
+        from ..api import QuerySpec, QueryService
+        if q is None or isinstance(q, (int, float)):
+            qs = (normalize_q(q if q is None else float(q), phi, default=0.5),)
+        else:
+            qs = tuple(float(value) for value in q)
+        spec = QuerySpec(kind="group_by", quantiles=qs,
+                         group_dimension=dimension, filters=filters or {})
+        response = QueryService(cube=self, batched=batched).execute(spec)
+        return dict(response.groups or {})
+
     def _group_summaries(self, dimension: str,
                          filters: Mapping[str, object] | None = None
                          ) -> dict[object, QuantileSummary]:

@@ -79,7 +79,11 @@ class QueryResult:
     :class:`~repro.api.backends.DruidBackend` adapter):
     ``planner_seconds`` covers the segment/cell scan that locates
     matching state, ``merge_seconds`` the merge fold, and
-    ``finalize_seconds`` (alias ``solve_seconds``) the estimator solve.
+    ``finalize_seconds`` (alias ``solve_seconds``) the estimator solve
+    — reported once per query, never summed per cell.  ``solve_route``
+    records which estimation path ran on kinds where both exist
+    (``"batched"``/``"scalar"``), so workload scripts can A/B the
+    batched estimation layer.
     """
 
     value: float
@@ -87,6 +91,7 @@ class QueryResult:
     merge_seconds: float
     finalize_seconds: float
     planner_seconds: float = 0.0
+    solve_route: str = ""
 
     @property
     def solve_seconds(self) -> float:
@@ -298,7 +303,8 @@ class DruidEngine:
                            cells_scanned=response.cells_scanned,
                            merge_seconds=timings.merge_seconds,
                            finalize_seconds=timings.solve_seconds,
-                           planner_seconds=timings.planner_seconds)
+                           planner_seconds=timings.planner_seconds,
+                           solve_route=timings.solve_route)
 
     def _merge_states(self, states: list[AggregatorState]) -> AggregatorState:
         def fold(shard: list[AggregatorState]) -> AggregatorState:
@@ -374,8 +380,12 @@ class DruidEngine:
                  phi: float | None = None) -> dict[object, float]:
         """Per-dimension-value finalized results (Druid groupBy query).
 
-        Shim over the unified API's ``group_by`` kind; the ``phi=``
-        keyword is deprecated in favor of ``q``.
+        Shim over the unified API's ``group_by`` kind: the per-segment
+        packed reductions produce one merged sketch per group and the
+        service then solves *all* groups with one batched max-entropy
+        pass (``timings.solve_calls == 1``) instead of one Newton loop
+        per group.  The ``phi=`` keyword is deprecated in favor of
+        ``q``.
         """
         from ..api import QuerySpec, QueryService, qkey
         q = normalize_q(q, phi, default=0.5)
@@ -396,8 +406,10 @@ def top_n_by_quantile(engine: DruidEngine, aggregator: str, dimension: str,
     Shim over the unified API's ``top_n`` kind, which keeps the
     bounds-before-estimates pruning (RTT rank-bound brackets discard
     groups that cannot make the list before any max-entropy solve — see
-    :meth:`repro.api.QueryService._top_n`).  The ``phi=`` keyword is
-    deprecated in favor of ``q``.
+    :meth:`repro.api.QueryService._top_n`) and, on the default batched
+    route, runs the bracket bisection and the surviving candidates'
+    solves as stacked vectorized passes with identical decisions.  The
+    ``phi=`` keyword is deprecated in favor of ``q``.
 
     Returns (dimension value, quantile estimate) pairs, best first.
     """

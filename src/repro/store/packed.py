@@ -50,7 +50,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.errors import EmptySketchError, IncompatibleSketchError, SketchError
-from ..core.sketch import DEFAULT_ORDER, MAX_ORDER, MomentsSketch
+from ..core.sketch import (ColumnarMoments, DEFAULT_ORDER, MAX_ORDER,
+                           MomentsSketch)
 
 #: Bulk wire format: magic, order k, flags, padding, row count (uint64).
 _HEADER = struct.Struct("<4sBBxxQ")
@@ -404,6 +405,60 @@ class PackedSketchStore:
         merged = self.batch_merge_groups(rows, gids)
         ordered = list(key_ids)
         return {ordered[gid]: sketch for gid, sketch in merged.items()}
+
+    # ------------------------------------------------------------------
+    # Batched estimation feeds
+    # ------------------------------------------------------------------
+
+    def moment_columns(self, indices=None) -> ColumnarMoments:
+        """Columnar view of rows for the batched estimation layer.
+
+        With ``indices=None`` the block covers every live row zero-copy
+        (the arrays are views into the store — read-only use only); a
+        row subset gathers copies.  The result feeds the vectorized
+        bound kernels (:func:`repro.core.bounds.markov_bound_batch`) and
+        :meth:`repro.core.cascade.ThresholdCascade.evaluate_batch`
+        without materializing per-row sketch objects.
+        """
+        if indices is None:
+            sel: slice | np.ndarray = slice(0, self._size)
+        else:
+            sel = np.atleast_1d(np.asarray(indices, dtype=np.intp))
+            if sel.size and (sel.min() < 0 or sel.max() >= self._size):
+                raise SketchError(f"row index out of range [0, {self._size})")
+        return ColumnarMoments(
+            k=self.k, track_log=self.track_log, counts=self.counts[sel],
+            mins=self.mins[sel], maxs=self.maxs[sel],
+            power_sums=self.power_sums[sel], log_sums=self.log_sums[sel],
+            log_valid=self.log_valid[sel])
+
+    def group_bases(self, rows, keys, config=None) -> dict:
+        """Solver-ready bases for a group-by, one batched build.
+
+        Merges ``rows`` by ``keys`` (:meth:`batch_merge_by`) and runs
+        batched moment selection + basis construction for every group
+        aggregate, returning ``{key: (sketch, MaxEntBasis)}`` in
+        first-seen key order — the hand-off
+        :func:`repro.core.batch_solver.solve_batch` consumes.  Groups
+        with degenerate support (point masses) map to ``(sketch,
+        None)``; they need no solve.
+        """
+        from ..core.selector import select_moments_batch
+        from ..core.solver import build_bases_batch
+
+        merged = self.batch_merge_by(rows, keys)
+        solvable = {key: sketch for key, sketch in merged.items()
+                    if sketch.max > sketch.min}
+        out: dict = {key: (sketch, None) for key, sketch in merged.items()}
+        if solvable:
+            sketches = list(solvable.values())
+            selections = select_moments_batch(sketches, config)
+            bases = build_bases_batch(sketches,
+                                      [sel.k1 for sel in selections],
+                                      [sel.k2 for sel in selections], config)
+            for key, sketch, basis in zip(solvable, sketches, bases):
+                out[key] = (sketch, basis)
+        return out
 
     # ------------------------------------------------------------------
     # Bulk serialization
