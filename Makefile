@@ -5,12 +5,15 @@
 # sharing, cluster answers that are not bit-exact across topologies and
 # failovers, non-idempotent batch replay, a columnar ingest speedup
 # below 5x, or a batched group solve below 3x at 1024 cells (or with
-# decisions that diverge from the scalar path).
+# decisions that diverge from the scalar path), and a workload-harness
+# smoke (cube + cluster, sqlite exact oracle) that fails on any Eq. 1
+# rank-error contract violation.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench-solve bench
+.PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench-solve \
+	bench-harness bench
 
 test:
 	$(PYTHON) -m compileall -q src
@@ -20,6 +23,8 @@ test:
 	$(PYTHON) benchmarks/bench_cluster_scaling.py --quick
 	$(PYTHON) benchmarks/bench_ingest.py --quick
 	$(PYTHON) benchmarks/bench_group_solve.py --quick
+	$(PYTHON) -m repro.cli harness run --spec examples/harness_smoke.json \
+		--out BENCH_harness.json --check
 
 bench-merge:
 	$(PYTHON) benchmarks/bench_batch_merge.py --require-speedup 10
@@ -35,6 +40,11 @@ bench-ingest:
 
 bench-solve:
 	$(PYTHON) benchmarks/bench_group_solve.py --require-speedup 3
+
+# Full workload-harness experiment (longer than the smoke in `test`):
+# the paced 10-second mixed cube-vs-cluster run from the examples.
+bench-harness:
+	$(PYTHON) examples/harness_experiment.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,116 @@
+"""A full workload-harness experiment: 10 paced seconds, cube vs cluster.
+
+Replays a mixed production-shaped workload — Zipf-skewed point
+quantiles, full group-bys, top-5, threshold counts, plus streaming
+ingest batches — against a single-process data cube and a 3-node
+scatter-gather cluster simultaneously, with the sqlite exact oracle
+grading every quantile-bearing answer by the paper's Eq. 1 rank error.
+Prints the per-backend latency and accuracy tables and appends the
+schema-versioned record to ``BENCH_harness.json``.
+
+BENCH_harness.json record (schema ``repro.harness/1``; full schema in
+:mod:`repro.harness.report`)::
+
+    {"schema": "repro.harness/1",
+     "run_at":   ISO-8601 UTC,
+     "spec":     the ExperimentSpec that produced the run,
+     "workload": events / queries / ingest_flushes / rows_ingested /
+                 elapsed_seconds / qps_target / qps_achieved,
+     "latency":  {backend: {kind: count, mean/max/p50/p95/p99 seconds,
+                            "phase_totals": planner/merge/solve seconds
+                            + solve_calls},
+                  ...},
+     "resources": cpu_percent mean/max + rss bytes, sampled in-process,
+     "accuracy": {"epsilon": eps,
+                  backend: checked / mean + max rank error / violations
+                           / threshold disagreements / 10 worst queries},
+     "agreement": {backend: queries / exact_matches vs the reference}}
+
+Run with::
+
+    PYTHONPATH=src python examples/harness_experiment.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness import ExperimentSpec, run_experiment  # noqa: E402
+
+SPEC = ExperimentSpec(
+    name="example-cube-vs-cluster",
+    dataset="milan",
+    rows=20_000,
+    cells=32,
+    backends=("cube", "cluster"),
+    k=10,
+    duration_seconds=10.0,
+    target_qps=30.0,
+    query_mix=(("quantile", 0.5), ("group_by", 0.2),
+               ("top_n", 0.2), ("threshold_count", 0.1)),
+    ingest_fraction=0.15,
+    ingest_batch_rows=1_000,
+    zipf_s=1.1,
+    burstiness=0.3,
+    quantiles=(0.5, 0.95, 0.99),
+    top_n=5,
+    threshold_q=0.9,
+    epsilon=0.05,
+    oracle=True,
+    paced=True,  # honor the 10-second open-loop schedule in real time
+    seed=42,
+    nodes=3,
+)
+
+
+def main() -> None:
+    print(f"running {SPEC.name!r}: {SPEC.num_events} events over "
+          f"{SPEC.duration_seconds:.0f}s at {SPEC.target_qps:.0f} qps, "
+          f"backends {', '.join(SPEC.backends)} ...")
+    record = run_experiment(SPEC, trajectory_path="BENCH_harness.json",
+                            fail_on_violation=True)
+
+    workload = record["workload"]
+    print(f"\n{workload['queries']} queries + "
+          f"{workload['ingest_flushes']} ingest flushes "
+          f"({workload['rows_ingested']} rows) in "
+          f"{workload['elapsed_seconds']:.2f}s "
+          f"({workload['qps_achieved']:.1f} events/s achieved, "
+          f"{workload['qps_target']:.0f} scheduled)")
+    resources = record["resources"]
+    print(f"cpu mean {resources['cpu_percent_mean']:.0f}%  "
+          f"rss max {resources['rss_max_bytes'] / 1e6:.0f} MB")
+
+    print("\nlatency (ms)")
+    print(f"{'backend':>9} {'kind':>16} {'count':>6} "
+          f"{'p50':>8} {'p95':>8} {'p99':>8}")
+    for backend, kinds in record["latency"].items():
+        for kind, stats in sorted(kinds.items()):
+            if kind == "phase_totals":
+                continue
+            print(f"{backend:>9} {kind:>16} {stats['count']:>6} "
+                  f"{stats['p50_seconds'] * 1e3:>8.2f} "
+                  f"{stats['p95_seconds'] * 1e3:>8.2f} "
+                  f"{stats['p99_seconds'] * 1e3:>8.2f}")
+
+    accuracy = record["accuracy"]
+    print(f"\naccuracy vs sqlite exact oracle (epsilon = "
+          f"{accuracy['epsilon']})")
+    print(f"{'backend':>9} {'checked':>8} {'mean err':>9} {'max err':>9} "
+          f"{'violations':>10}")
+    for backend in SPEC.backends:
+        graded = accuracy[backend]
+        print(f"{backend:>9} {graded['checked']:>8} "
+              f"{graded['mean_rank_error']:>9.4f} "
+              f"{graded['max_rank_error']:>9.4f} "
+              f"{graded['violations']:>10}")
+
+    agreement = record["agreement"]["cluster"]
+    print(f"\ncube vs cluster agreement: {agreement['exact_matches']}/"
+          f"{agreement['queries']} payloads bit-identical")
+    print("record appended to BENCH_harness.json")
+
+
+if __name__ == "__main__":
+    main()

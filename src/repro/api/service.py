@@ -260,10 +260,12 @@ class QueryService:
         count = getattr(summary, "count", None)
         moments = (_moments_payload(sketch)
                    if spec.report_moments and sketch is not None else None)
-        solve_calls = 0
-        solve_route = ""
         start = time.perf_counter()
         if spec.kind == "quantile":
+            # One summary, one estimator fit (cached across the fused
+            # quantiles) — inherently a scalar solve.
+            solve_calls = 1
+            solve_route = "scalar"
             estimates_arr = self._estimates(spec, summary)
             estimates = {qkey(q): float(est)
                          for q, est in zip(spec.quantiles, estimates_arr)}
@@ -276,6 +278,10 @@ class QueryService:
         elif spec.kind == "cdf":
             if sketch is None:
                 raise QueryError("cdf queries need a moments-backed summary")
+            # CDF points come from closed-form RTT bounds, one per
+            # threshold; no max-entropy solver runs.
+            solve_calls = len(spec.thresholds)
+            solve_route = "bounds"
             estimates = {}
             bounds = {} if spec.report_bounds else None
             for t in spec.thresholds:
@@ -470,7 +476,9 @@ class QueryService:
             merges=result.windows_checked,
             timings=QueryTimings(planner_seconds=plan_seconds,
                                  merge_seconds=result.merge_seconds,
-                                 solve_seconds=result.solve_seconds))
+                                 solve_seconds=result.solve_seconds,
+                                 solve_calls=max(result.windows_checked, 1),
+                                 solve_route="window"))
 
 
 def _quantile_brackets_batch(sketches: list, q: float

@@ -294,12 +294,16 @@ class QuerySpec:
 class QueryTimings:
     """Eq. 2 cost decomposition: plan + scan, merge fold, estimator solve.
 
-    ``solve_route`` records which estimation path ran the solve phase on
-    kinds where both exist (``"batched"``: one stacked max-entropy solve
-    across all groups; ``"scalar"``: one solve per group), and
-    ``solve_calls`` how many solver invocations that was — ``1`` for a
-    batched group solve regardless of group count.  Both are omitted
-    from JSON when unset (single-summary kinds).
+    ``solve_route`` records which estimation path ran the solve phase —
+    ``"batched"`` (one stacked max-entropy solve across all groups),
+    ``"scalar"`` (one solve per group, and all single-summary solves),
+    ``"bounds"`` (closed-form RTT/Markov bounds, the ``cdf`` kind), or
+    ``"window"`` (per-window sliding scans) — and ``solve_calls`` how
+    many solver/bound invocations that was, ``1`` for a batched group
+    solve regardless of group count.  Every :class:`~repro.api.service
+    .QueryService` route fills both, so observability layers (the
+    workload harness) can rely on them; they are omitted from JSON only
+    when zero/empty (hand-built instances).
     """
 
     planner_seconds: float = 0.0

@@ -11,6 +11,7 @@ jobs around an analytics engine:
     python -m repro sketch bounds total.msk --t 100
     python -m repro sketch info total.msk
     python -m repro ingest rows.csv --spec '{"backend": "cube", "dimensions": ["service"]}' --query '{"kind": "quantile", "quantiles": [0.99]}'
+    python -m repro harness run --spec examples/harness_smoke.json
     python -m repro datasets list
     python -m repro datasets stats milan --rows 100000
 
@@ -260,6 +261,39 @@ def cmd_ingest(args: argparse.Namespace) -> dict:
     return result
 
 
+def cmd_harness_run(args: argparse.Namespace) -> dict:
+    """Run one workload-harness experiment and emit its trajectory record.
+
+    ``--spec`` takes an :class:`~repro.harness.ExperimentSpec` JSON
+    document or a path to one; the record is appended to the
+    ``--out`` trajectory file (``BENCH_harness.json``) unless
+    ``--no-out`` is given.  With ``--check`` (the default), any exact-
+    oracle ε-contract violation fails the command after the record is
+    written — the CI smoke gate.
+    """
+    from .harness import DEFAULT_TRAJECTORY, ExperimentSpec, run_experiment
+
+    text = args.spec
+    if not text.lstrip().startswith("{"):
+        text = Path(text).read_text(encoding="utf-8")
+    spec = ExperimentSpec.from_json(text)
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration_seconds"] = args.duration
+    if args.qps is not None:
+        overrides["target_qps"] = args.qps
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec = ExperimentSpec.from_dict({**spec.to_dict(), **overrides})
+    out = None if args.no_out else (args.out or DEFAULT_TRAJECTORY)
+    record = run_experiment(spec, trajectory_path=out,
+                            fail_on_violation=args.check)
+    if out:
+        record = dict(record, trajectory=str(out))
+    return record
+
+
 def cmd_cluster_demo(args: argparse.Namespace) -> dict:
     """Build a simulated cluster, query it, kill a node, query again.
 
@@ -462,6 +496,33 @@ def build_parser() -> argparse.ArgumentParser:
     placement.add_argument("--replication", type=int, default=2)
     placement.add_argument("--vnodes", type=int, default=64)
     placement.set_defaults(handler=cmd_cluster_placement)
+
+    harness = subcommands.add_parser(
+        "harness", help="production workload harness (repro.harness)")
+    harness_sub = harness.add_subparsers(dest="action", required=True)
+
+    harness_run = harness_sub.add_parser(
+        "run", help="replay one ExperimentSpec; emit a BENCH_harness.json "
+                    "trajectory record")
+    harness_run.add_argument("--spec", required=True,
+                             help="ExperimentSpec JSON document, or a path "
+                                  "to a JSON file")
+    harness_run.add_argument("--out", default=None,
+                             help="trajectory file to append to "
+                                  "(default BENCH_harness.json)")
+    harness_run.add_argument("--no-out", action="store_true",
+                             help="do not write a trajectory file")
+    harness_run.add_argument("--check", action=argparse.BooleanOptionalAction,
+                             default=True,
+                             help="fail on exact-oracle ε-contract "
+                                  "violations (--no-check records only)")
+    harness_run.add_argument("--duration", type=float, default=None,
+                             help="override spec duration_seconds")
+    harness_run.add_argument("--qps", type=float, default=None,
+                             help="override spec target_qps")
+    harness_run.add_argument("--seed", type=int, default=None,
+                             help="override spec seed")
+    harness_run.set_defaults(handler=cmd_harness_run)
 
     datasets = subcommands.add_parser("datasets",
                                       help="synthetic evaluation datasets")

@@ -82,3 +82,14 @@ class BackpressureError(IngestError):
 
 class ClusterError(ReproError):
     """Invalid cluster topology operation or unroutable shard."""
+
+
+class HarnessError(ReproError):
+    """Invalid workload-harness experiment spec or failed run contract.
+
+    Raised by :mod:`repro.harness` for malformed
+    :class:`~repro.harness.ExperimentSpec` documents and — when a run is
+    executed with ``fail_on_violation`` — for exact-oracle ε-contract
+    violations, so CI treats an accuracy regression exactly like a test
+    failure.
+    """

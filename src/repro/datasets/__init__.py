@@ -5,11 +5,12 @@ from .synthetic import (
     DatasetSpec, SPECS, summary_statistics,
     gamma_skew, gaussian_with_outliers, uniform_discrete,
 )
-from .production import ProductionCell, generate_cells, all_values
+from .production import (ProductionCell, generate_cells, all_values,
+                         production_columns)
 
 __all__ = [
     "EVALUATION_DATASETS", "available", "load", "spec",
     "DatasetSpec", "SPECS", "summary_statistics",
     "gamma_skew", "gaussian_with_outliers", "uniform_discrete",
-    "ProductionCell", "generate_cells", "all_values",
+    "ProductionCell", "generate_cells", "all_values", "production_columns",
 ]

@@ -69,3 +69,30 @@ def generate_cells(num_cells: int = 4000, seed: int = 0,
 def all_values(cells: list[ProductionCell]) -> np.ndarray:
     """Concatenate every cell's rows (ground truth for accuracy checks)."""
     return np.concatenate([cell.values for cell in cells])
+
+
+def production_columns(num_cells: int, total_rows: int, seed: int = 0
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the telemetry workload into shuffled ingest columns.
+
+    Returns ``(cell_ids, values)`` of exactly ``total_rows`` rows: cell
+    ``i`` is the i-th :class:`ProductionCell` (heavy-tailed sizes,
+    heterogeneous long-tailed values), rows are shuffled into a single
+    arrival stream, and the stream is tiled when the generated workload
+    is shorter than requested.  This is the workload harness's
+    production-shaped row source.
+    """
+    mean_size = max(total_rows / num_cells, 8.0)
+    cells = generate_cells(num_cells=num_cells, seed=seed,
+                           mean_cell_size=mean_size)
+    cell_ids = np.concatenate(
+        [np.full(cell.values.size, index, dtype=np.int64)
+         for index, cell in enumerate(cells)])
+    values = all_values(cells)
+    order = np.random.default_rng(seed + 1).permutation(values.size)
+    cell_ids, values = cell_ids[order], values[order]
+    if values.size < total_rows:
+        reps = -(-total_rows // values.size)
+        cell_ids = np.tile(cell_ids, reps)
+        values = np.tile(values, reps)
+    return cell_ids[:total_rows], values[:total_rows]

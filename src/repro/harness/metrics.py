@@ -1,0 +1,157 @@
+"""Observability primitives: latency aggregation and resource sampling.
+
+:class:`LatencyAggregator` collects per-``(backend, kind)`` latency
+samples during a replay and summarizes them as the production SLO
+numbers — P50/P95/P99 (numpy linear-interpolation percentiles), mean,
+max, count — plus aggregate solve/merge phase totals folded out of
+:class:`~repro.api.QueryTimings`, so a harness report decomposes *where*
+the tail goes, not just how long it is.
+
+:class:`ResourceSampler` is a daemon thread sampling process CPU
+utilization (``os.times`` user+system deltas over wall-clock deltas) and
+resident set size (``/proc/self/statm`` on Linux, with a
+``resource.getrusage`` peak-RSS fallback elsewhere) — stdlib only, no
+psutil dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import threading
+import time
+from collections import defaultdict
+
+import numpy as np
+
+#: Reported percentiles, in report-key order.
+PERCENTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def latency_summary(samples) -> dict:
+    """P50/P95/P99/mean/max/count of one latency sample set (seconds).
+
+    Percentiles are numpy's default linear interpolation; a single
+    sample is its own percentile at every level, and an empty set
+    summarizes to a zero-count record rather than crashing the report.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        return {"count": 0}
+    summary = {"count": int(values.size),
+               "mean_seconds": float(values.mean()),
+               "max_seconds": float(values.max())}
+    levels = [level for level, _ in PERCENTILES]
+    for (_, key), value in zip(PERCENTILES, np.percentile(values, levels)):
+        summary[f"{key}_seconds"] = float(value)
+    return summary
+
+
+class LatencyAggregator:
+    """Per-(backend, kind) latency samples plus phase-time totals."""
+
+    def __init__(self):
+        self._samples: dict[tuple[str, str], list[float]] = defaultdict(list)
+        self._phases: dict[str, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float))
+
+    def record(self, backend: str, kind: str, seconds: float,
+               timings=None) -> None:
+        """Add one latency sample (and optionally its QueryTimings)."""
+        self._samples[(str(backend), str(kind))].append(float(seconds))
+        if timings is not None:
+            phases = self._phases[str(backend)]
+            phases["planner_seconds"] += timings.planner_seconds
+            phases["merge_seconds"] += timings.merge_seconds
+            phases["solve_seconds"] += timings.solve_seconds
+            phases["solve_calls"] += timings.solve_calls
+
+    def count(self, backend: str | None = None) -> int:
+        return sum(len(samples) for (b, _), samples in self._samples.items()
+                   if backend is None or b == backend)
+
+    def summary(self) -> dict:
+        """``{backend: {kind: {count, mean, max, p50, p95, p99}}}``."""
+        out: dict[str, dict] = {}
+        for (backend, kind), samples in sorted(self._samples.items()):
+            out.setdefault(backend, {})[kind] = latency_summary(samples)
+        for backend, phases in self._phases.items():
+            entry = out.setdefault(backend, {})
+            entry["phase_totals"] = {
+                "planner_seconds": phases["planner_seconds"],
+                "merge_seconds": phases["merge_seconds"],
+                "solve_seconds": phases["solve_seconds"],
+                "solve_calls": int(phases["solve_calls"])}
+        return out
+
+
+def _rss_bytes() -> int:
+    """Current resident set size (Linux /proc; peak-RSS fallback)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; KiB is the common case.
+        return int(usage.ru_maxrss) * 1024
+
+
+class ResourceSampler:
+    """Background CPU/RSS sampler for the duration of one run.
+
+    CPU utilization is the process's (user + system) CPU-second delta
+    divided by the wall-clock delta since the previous sample, as a
+    percentage of one core (values above 100 mean thread-pool
+    parallelism).  Use as a context manager; ``summary()`` after exit.
+    """
+
+    def __init__(self, interval_seconds: float = 0.1):
+        self.interval_seconds = max(float(interval_seconds), 0.01)
+        self.samples: list[dict] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    def _cpu_seconds(self) -> float:
+        times = os.times()
+        return times.user + times.system
+
+    def _run(self) -> None:
+        last_wall = time.perf_counter()
+        last_cpu = self._cpu_seconds()
+        while not self._stop.wait(self.interval_seconds):
+            wall = time.perf_counter()
+            cpu = self._cpu_seconds()
+            elapsed = wall - last_wall
+            self.samples.append({
+                "at_seconds": wall - self._started_at,
+                "cpu_percent": (100.0 * (cpu - last_cpu) / elapsed
+                                if elapsed > 0 else 0.0),
+                "rss_bytes": _rss_bytes()})
+            last_wall, last_cpu = wall, cpu
+
+    def __enter__(self) -> "ResourceSampler":
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def summary(self) -> dict:
+        """Aggregate CPU/RSS over the sampled window (always well-formed)."""
+        if not self.samples:
+            # Sub-interval runs still report a final RSS reading.
+            return {"samples": 0, "rss_max_bytes": _rss_bytes()}
+        cpu = np.asarray([s["cpu_percent"] for s in self.samples])
+        rss = np.asarray([s["rss_bytes"] for s in self.samples])
+        return {"samples": len(self.samples),
+                "cpu_percent_mean": float(cpu.mean()),
+                "cpu_percent_max": float(cpu.max()),
+                "rss_max_bytes": int(rss.max()),
+                "rss_mean_bytes": float(rss.mean())}

@@ -1,0 +1,113 @@
+"""Schema-versioned ``BENCH_harness.json`` trajectory records.
+
+A harness run emits one machine-readable record; the trajectory file
+accumulates records across runs (and across PRs), so future re-anchors
+can see performance and accuracy *over time* instead of flying blind.
+
+``BENCH_harness.json`` schema (``schema = "repro.harness/1"``)::
+
+    {
+      "schema": "repro.harness/1",
+      "runs": [                      # append-only, oldest first
+        {
+          "schema": "repro.harness/1",
+          "run_at": "2026-08-07T12:00:00+00:00",   # UTC ISO 8601
+          "spec": {...},             # ExperimentSpec.to_dict() verbatim
+          "workload": {
+            "events": int,           # scheduled events
+            "queries": int, "ingest_flushes": int,
+            "rows_ingested": int,    # base preload + mid-run batches
+            "elapsed_seconds": float,
+            "qps_target": float, "qps_achieved": float
+          },
+          "latency": {               # per backend
+            "<backend>": {
+              "<kind>": {            # quantile/group_by/top_n/
+                                     # threshold_count/ingest
+                "count": int, "mean_seconds": float,
+                "max_seconds": float, "p50_seconds": float,
+                "p95_seconds": float, "p99_seconds": float
+              },
+              "phase_totals": {      # folded QueryTimings
+                "planner_seconds": float, "merge_seconds": float,
+                "solve_seconds": float, "solve_calls": int
+              }
+            }
+          },
+          "resources": {
+            "samples": int, "cpu_percent_mean": float,
+            "cpu_percent_max": float, "rss_max_bytes": int,
+            "rss_mean_bytes": float
+          },
+          "accuracy": {              # present when spec.oracle
+            "epsilon": float,
+            "<backend>": {
+              "checked": int,        # graded quantile estimates
+              "mean_rank_error": float, "max_rank_error": float,
+              "violations": int,     # rank_error > epsilon
+              "threshold_checked": int,
+              "threshold_disagreements": int,   # outside the ε margin
+              "worst": [             # up to 10 worst graded queries
+                {"kind": str, "cell": int|null, "q": float,
+                 "estimate": float, "exact": float,
+                 "rank_error": float}
+              ]
+            }
+          },
+          "agreement": {             # cross-backend, vs backends[0]
+            "<backend>": {"queries": int, "exact_matches": int}
+          }
+        }
+      ]
+    }
+
+Records are self-describing: consumers must ignore unknown keys and
+check ``schema`` before parsing, so the format can grow compatibly.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+
+from ..core.errors import HarnessError
+
+#: Version stamp written into every record and the trajectory envelope.
+SCHEMA_VERSION = "repro.harness/1"
+
+#: Default trajectory file name at the repository root.
+DEFAULT_TRAJECTORY = "BENCH_harness.json"
+
+
+def utc_now_iso() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds")
+
+
+def load_trajectory(path) -> dict:
+    """Read a trajectory file (empty envelope when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": SCHEMA_VERSION, "runs": []}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise HarnessError(f"corrupt trajectory file {path}: {exc}") from None
+    if not isinstance(payload, dict) or "runs" not in payload:
+        raise HarnessError(
+            f"{path} is not a harness trajectory (missing 'runs')")
+    return payload
+
+
+def append_trajectory(path, record: dict) -> dict:
+    """Append one run record to the trajectory file; returns the envelope."""
+    if record.get("schema") != SCHEMA_VERSION:
+        raise HarnessError(
+            f"record schema {record.get('schema')!r} != {SCHEMA_VERSION!r}")
+    envelope = load_trajectory(path)
+    envelope["schema"] = SCHEMA_VERSION
+    envelope["runs"].append(record)
+    Path(path).write_text(json.dumps(envelope, indent=2, default=float)
+                          + "\n", encoding="utf-8")
+    return envelope

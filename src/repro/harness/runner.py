@@ -1,0 +1,314 @@
+"""Experiment runner: replay one spec's schedule, grade it, record it.
+
+``run_experiment`` executes the full production-shaped loop:
+
+1. **Materialize** the seeded row stream (dataset values, Zipf-skewed
+   cell assignment) and the open-loop event schedule.
+2. **Preload** the base rows into every backend through one
+   :class:`~repro.ingest.IngestSession` per backend — identical batches,
+   so moments stay bit-comparable across backends — and mirror the same
+   rows into the sqlite :class:`~repro.harness.oracle.ExactOracle`.
+3. **Replay** the schedule: ingest events flush the next batch to every
+   backend (and the oracle); query events build one
+   :class:`~repro.api.QuerySpec` and execute it against every backend
+   through one shared :class:`~repro.api.QueryService`, recording
+   per-(backend, kind) latency and folded phase timings.
+4. **Grade**: every quantile-bearing estimate is scored with the
+   oracle's Eq. 1 rank error against the ε contract; threshold
+   decisions must agree with the exact answer outside the ε rank
+   margin; non-reference backends are checked for exact agreement with
+   the reference backend's payloads.
+5. **Record** a schema-versioned trajectory record
+   (:mod:`repro.harness.report`), optionally appending it to
+   ``BENCH_harness.json``, and — with ``fail_on_violation`` — raise
+   :class:`~repro.core.errors.HarnessError` on any contract violation,
+   so CI treats accuracy regressions as failures.
+
+Timestamps are the row's cell id (granularity 1.0 buckets), which pins
+every cell to one time chunk and one cluster shard: per-cell
+accumulation therefore happens in identical per-batch vectorized passes
+everywhere, and single-cell and per-group answers agree bit-for-bit
+between the cube and a multi-node cluster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..api import QueryService, QuerySpec, qkey
+from ..core.errors import HarnessError
+from ..datasets import load, production_columns
+from ..ingest import IngestSession, IngestSpec, build_target
+from .metrics import LatencyAggregator, ResourceSampler
+from .oracle import ExactOracle
+from .report import SCHEMA_VERSION, append_trajectory, utc_now_iso
+from .spec import ExperimentSpec
+from .traffic import assign_cells, generate_schedule
+
+#: Worst graded queries kept verbatim in the record.
+WORST_KEPT = 10
+
+
+class _AccuracyTally:
+    """Per-backend oracle scoreboard for one run."""
+
+    def __init__(self, epsilon: float):
+        self.epsilon = float(epsilon)
+        self.checked = 0
+        self.rank_errors: list[float] = []
+        self.violations = 0
+        self.threshold_checked = 0
+        self.threshold_disagreements = 0
+        self.worst: list[dict] = []
+
+    def grade(self, kind: str, cell, q: float, estimate: float,
+              oracle: ExactOracle) -> None:
+        error = oracle.rank_error(estimate, q, cell)
+        self.checked += 1
+        self.rank_errors.append(error)
+        if error > self.epsilon:
+            self.violations += 1
+        self.worst.append({"kind": kind,
+                           "cell": int(cell) if cell is not None else None,
+                           "q": float(q), "estimate": float(estimate),
+                           "exact": oracle.exact_quantile(q, cell),
+                           "rank_error": error})
+        self.worst.sort(key=lambda w: w["rank_error"], reverse=True)
+        del self.worst[WORST_KEPT:]
+
+    def grade_threshold(self, cell: int, t: float, q: float,
+                        exceeds: bool, oracle: ExactOracle) -> None:
+        self.threshold_checked += 1
+        if exceeds != oracle.exceeds_threshold(t, q, cell) \
+                and oracle.threshold_margin(t, q, cell) > self.epsilon:
+            self.threshold_disagreements += 1
+            self.violations += 1
+
+    def summary(self) -> dict:
+        errors = np.asarray(self.rank_errors, dtype=float)
+        return {"checked": self.checked,
+                "mean_rank_error": (float(errors.mean()) if errors.size
+                                    else 0.0),
+                "max_rank_error": (float(errors.max()) if errors.size
+                                   else 0.0),
+                "violations": self.violations,
+                "threshold_checked": self.threshold_checked,
+                "threshold_disagreements": self.threshold_disagreements,
+                "worst": list(self.worst)}
+
+
+def _make_rows(spec: ExperimentSpec, total: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """The full seeded row stream: (cell ids, values), length ``total``."""
+    if spec.dataset == "production":
+        # Appendix D.4 shape: heavy-tailed cell sizes, long-tailed
+        # integer values; re-keyed onto the harness's single dimension.
+        return production_columns(spec.cells, total, seed=spec.seed)
+    values = np.array(load(spec.dataset, n=total, seed=spec.seed),
+                      dtype=float)
+    cell_column = assign_cells(total, spec.cells, spec.zipf_s,
+                               np.random.default_rng(spec.seed + 1))
+    return cell_column, values
+
+
+def _build_sessions(spec: ExperimentSpec) -> dict[str, IngestSession]:
+    """One spec-built engine + ingest session per requested backend."""
+    sessions = {}
+    for backend in spec.backends:
+        ingest_spec = IngestSpec(
+            backend=backend, dimensions=("cell",), k=spec.k,
+            granularity=spec.granularity, num_shards=spec.num_shards,
+            replication=spec.replication, nodes=spec.nodes,
+            flush_rows=None)
+        sessions[backend] = IngestSession(build_target(ingest_spec),
+                                          ingest_spec)
+    return sessions
+
+
+def _register_backends(service: QueryService,
+                       sessions: dict[str, IngestSession]) -> None:
+    """(Re-)register each session's current read target.
+
+    Re-registration after ingest matters for the packed store, whose
+    read adapter snapshots the key->row map at construction.
+    """
+    for name, session in sessions.items():
+        service.register(name, session.backend.read_target())
+
+
+def _query_spec(spec: ExperimentSpec, event, thresholds: tuple[float, ...]
+                ) -> QuerySpec:
+    """The QuerySpec one scheduled query event executes everywhere."""
+    if event.op == "quantile":
+        return QuerySpec(kind="quantile", quantiles=spec.quantiles,
+                         filters={"cell": event.cell})
+    if event.op == "group_by":
+        return QuerySpec(kind="group_by", quantiles=spec.quantiles,
+                         group_dimension="cell")
+    if event.op == "top_n":
+        return QuerySpec(kind="top_n", quantiles=(spec.quantiles[-1],),
+                         group_dimension="cell", n=spec.top_n)
+    if event.op == "threshold_count":
+        t = thresholds[event.index % len(thresholds)]
+        return QuerySpec(kind="threshold_count",
+                         quantiles=(spec.threshold_q,), thresholds=(t,),
+                         group_dimension="cell")
+    raise HarnessError(f"unknown query op {event.op!r}")
+
+
+def _grade_response(spec: ExperimentSpec, query: QuerySpec, response,
+                    tally: _AccuracyTally, oracle: ExactOracle) -> None:
+    """Score one response's estimates against the exact oracle."""
+    if query.kind == "quantile":
+        cell = query.filters_dict()["cell"]
+        for q in query.quantiles:
+            tally.grade("quantile", cell, q,
+                        response.estimates[qkey(q)], oracle)
+    elif query.kind == "group_by":
+        for cell, estimates in response.groups.items():
+            for q in query.quantiles:
+                tally.grade("group_by", cell, q, estimates[qkey(q)], oracle)
+    elif query.kind == "top_n":
+        for cell, estimate in response.top:
+            tally.grade("top_n", cell, query.q, estimate, oracle)
+    elif query.kind == "threshold_count":
+        t = query.thresholds[0]
+        for cell, outcomes in response.groups.items():
+            tally.grade_threshold(int(cell), t, query.q,
+                                  outcomes[qkey(t)]["exceeds"], oracle)
+
+
+def _payload_of(response) -> tuple:
+    """The answer-defining parts of a response (agreement comparison)."""
+    return (response.value, response.estimates, response.groups,
+            response.top, response.count)
+
+
+def run_experiment(spec: ExperimentSpec, trajectory_path=None,
+                   fail_on_violation: bool = False) -> dict:
+    """Run one experiment end to end; returns the trajectory record.
+
+    ``trajectory_path`` appends the record to a ``BENCH_harness.json``
+    trajectory file; ``fail_on_violation`` raises
+    :class:`~repro.core.errors.HarnessError` after recording when any
+    ε-contract violation (or out-of-margin threshold disagreement)
+    occurred.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        spec = (ExperimentSpec.from_json(spec) if isinstance(spec, str)
+                else ExperimentSpec.from_dict(spec))
+    schedule = generate_schedule(spec)
+    n_ingest = sum(1 for event in schedule if event.kind == "ingest")
+    total_rows = spec.rows + n_ingest * spec.ingest_batch_rows
+    cell_column, values = _make_rows(spec, total_rows)
+    timestamps = cell_column.astype(float)  # one chunk/shard per cell
+
+    sessions = _build_sessions(spec)
+    oracle = ExactOracle("cell") if spec.oracle else None
+    service = QueryService()
+    latencies = LatencyAggregator()
+    tallies = {name: _AccuracyTally(spec.epsilon) for name in spec.backends}
+    agreement = {name: {"queries": 0, "exact_matches": 0}
+                 for name in spec.backends[1:]}
+
+    def flush_batch(start: int, stop: int) -> None:
+        for name, session in sessions.items():
+            began = time.perf_counter()
+            session.append_columns(values[start:stop],
+                                   dims=[cell_column[start:stop]],
+                                   timestamps=timestamps[start:stop])
+            session.flush()
+            latencies.record(name, "ingest", time.perf_counter() - began)
+        if oracle is not None:
+            oracle.insert(cell_column[start:stop], values[start:stop])
+
+    # ------------------------------------------------------------------
+    # Preload, then derive the run's threshold pool from exact answers.
+    # ------------------------------------------------------------------
+    flush_batch(0, spec.rows)
+    _register_backends(service, sessions)
+    base = np.sort(values[:spec.rows])
+    thresholds = tuple(float(base[min(int(f * base.size), base.size - 1)])
+                       for f in (0.5, 0.9, 0.99))
+
+    cursor = spec.rows
+    queries = 0
+    flushes = 0
+    with ResourceSampler() as sampler:
+        started = time.perf_counter()
+        for event in schedule:
+            if spec.paced:
+                lag = started + event.at - time.perf_counter()
+                if lag > 0:
+                    time.sleep(lag)
+            if event.kind == "ingest":
+                flush_batch(cursor, cursor + spec.ingest_batch_rows)
+                cursor += spec.ingest_batch_rows
+                _register_backends(service, sessions)
+                flushes += 1
+                continue
+            query = _query_spec(spec, event, thresholds)
+            queries += 1
+            reference_payload = None
+            for name in spec.backends:
+                began = time.perf_counter()
+                response = service.execute(query, backend=name)
+                latencies.record(name, event.op,
+                                 time.perf_counter() - began,
+                                 timings=response.timings)
+                if not response.timings.solve_route:
+                    raise HarnessError(
+                        f"backend {name!r} returned an unset solve_route "
+                        f"for kind {event.op!r}; every QueryService route "
+                        f"must fill QueryTimings")
+                if oracle is not None:
+                    _grade_response(spec, query, response, tallies[name],
+                                    oracle)
+                payload = _payload_of(response)
+                if name == spec.backends[0]:
+                    reference_payload = payload
+                else:
+                    agreement[name]["queries"] += 1
+                    agreement[name]["exact_matches"] += int(
+                        payload == reference_payload)
+        elapsed = time.perf_counter() - started
+
+    for session in sessions.values():
+        session.close()
+
+    record = {
+        "schema": SCHEMA_VERSION,
+        "run_at": utc_now_iso(),
+        "spec": spec.to_dict(),
+        "workload": {
+            "events": len(schedule),
+            "queries": queries,
+            "ingest_flushes": flushes,
+            "rows_ingested": cursor,
+            "elapsed_seconds": elapsed,
+            "qps_target": spec.target_qps,
+            "qps_achieved": (len(schedule) / elapsed if elapsed > 0
+                             else 0.0)},
+        "latency": latencies.summary(),
+        "resources": sampler.summary(),
+        "agreement": agreement,
+    }
+    if oracle is not None:
+        record["accuracy"] = {"epsilon": spec.epsilon}
+        for name, tally in tallies.items():
+            record["accuracy"][name] = tally.summary()
+        oracle.close()
+
+    if trajectory_path is not None:
+        append_trajectory(trajectory_path, record)
+
+    if fail_on_violation and oracle is not None:
+        broken = {name: tally.violations for name, tally in tallies.items()
+                  if tally.violations}
+        if broken:
+            raise HarnessError(
+                f"ε-contract violations (epsilon={spec.epsilon}): {broken}; "
+                f"worst: {[t.worst[:2] for t in tallies.values() if t.worst]}")
+    return record

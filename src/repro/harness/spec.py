@@ -1,0 +1,262 @@
+"""Declarative experiment descriptions for the workload harness.
+
+:class:`ExperimentSpec` is the harness twin of
+:class:`~repro.api.QuerySpec` / :class:`~repro.ingest.IngestSpec`: one
+validated, JSON-round-trippable value object that describes a complete
+production-shaped experiment — dataset, backend set, ingest mix, query
+mix with Zipfian cell skew and bursty open-loop arrivals, target QPS,
+duration, seed, and the exact-oracle ε contract — independently of the
+machinery that executes it (:mod:`repro.harness.runner`).
+
+The same spec replayed with the same seed produces the identical event
+schedule, the identical rows, and therefore the identical answers, so
+harness runs are reproducible experiment records, not one-off load
+tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.errors import HarnessError
+from ..datasets import available
+
+#: Backends an experiment may exercise (ingest-spec registry names).
+BACKENDS = ("cube", "druid", "packed", "cluster")
+
+#: Query kinds the traffic generator can emit.
+QUERY_KINDS = ("quantile", "group_by", "top_n", "threshold_count")
+
+#: Datasets accepted beyond the Table 1 registry names.
+EXTRA_DATASETS = ("production",)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative workload experiment.
+
+    Parameters
+    ----------
+    name:
+        Label recorded in the emitted trajectory record.
+    dataset:
+        A :mod:`repro.datasets` registry name (``milan``, ``hepmass``,
+        ...) or ``"production"`` for the Appendix D.4 telemetry shape
+        (heavy-tailed cell sizes, long-tailed integer values).
+    rows:
+        Base rows preloaded into every backend before traffic starts.
+    cells:
+        Distinct cells (values of the single ``cell`` dimension).  Cell
+        popularity — for both data volume and query targeting — follows
+        the Zipfian weights below.
+    backends:
+        Backend kinds to drive, each fed the identical batches.  The
+        first backend is the reference for cross-backend agreement.
+    k:
+        Moments-sketch order for spec-built backends.
+    duration_seconds, target_qps:
+        Open-loop traffic envelope: the schedule carries
+        ``round(target_qps * duration_seconds)`` events with arrival
+        offsets in ``[0, duration_seconds)``.
+    query_mix:
+        ``(kind, weight)`` pairs over :data:`QUERY_KINDS`; weights are
+        normalized.
+    ingest_fraction:
+        Fraction of events that are ingest flushes instead of queries.
+    ingest_batch_rows:
+        Rows appended (to every backend and the oracle) per ingest event.
+    zipf_s:
+        Zipf skew exponent: cell ``i`` is hit with weight
+        ``(i + 1) ** -zipf_s``.  ``0`` is uniform.
+    burstiness:
+        Fraction of arrivals concentrated into short bursts (0 = plain
+        Poisson-like arrivals, 0.9 = heavily clustered).
+    quantiles:
+        Target fractions probed by quantile/group_by queries (single-
+        quantile kinds use the first).
+    top_n:
+        Result-list size for ``top_n`` queries.
+    threshold_q:
+        The quantile fraction threshold_count queries test.
+    epsilon:
+        Per-query rank-error contract (paper Eq. 1): every validated
+        quantile estimate must satisfy ``rank_error <= epsilon`` against
+        the sqlite exact oracle, or the run records a violation.
+    oracle:
+        Validate estimates against the exact oracle (disable for pure
+        load measurements).
+    paced:
+        Sleep until each event's scheduled arrival (true open-loop
+        pacing); off, events replay back-to-back and achieved QPS
+        measures raw service throughput.
+    seed:
+        Master seed for the schedule, the dataset, and the row stream.
+    nodes, num_shards, replication, granularity:
+        Cluster topology for spec-built ``cluster`` backends.
+    """
+
+    name: str = "experiment"
+    dataset: str = "milan"
+    rows: int = 20_000
+    cells: int = 64
+    backends: tuple[str, ...] = ("cube",)
+    k: int = 10
+    duration_seconds: float = 5.0
+    target_qps: float = 40.0
+    query_mix: tuple[tuple[str, float], ...] = (
+        ("quantile", 0.55), ("group_by", 0.2),
+        ("top_n", 0.15), ("threshold_count", 0.1))
+    ingest_fraction: float = 0.2
+    ingest_batch_rows: int = 500
+    zipf_s: float = 1.1
+    burstiness: float = 0.3
+    quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+    top_n: int = 5
+    threshold_q: float = 0.9
+    epsilon: float = 0.05
+    oracle: bool = True
+    paced: bool = False
+    seed: int = 0
+    nodes: int = 2
+    num_shards: int = 16
+    replication: int = 2
+    granularity: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "backends",
+                           tuple(str(b) for b in self.backends))
+        if not self.backends:
+            raise HarnessError("an experiment needs at least one backend")
+        unknown = set(self.backends) - set(BACKENDS)
+        if unknown:
+            raise HarnessError(f"unknown backends {sorted(unknown)}; "
+                               f"use ones of {BACKENDS}")
+        if len(set(self.backends)) != len(self.backends):
+            raise HarnessError("duplicate backends in experiment spec")
+        if self.dataset not in available() + EXTRA_DATASETS:
+            raise HarnessError(
+                f"unknown dataset {self.dataset!r}; available: "
+                f"{sorted(available() + EXTRA_DATASETS)}")
+        for field, minimum in (("rows", 1), ("cells", 1), ("k", 1),
+                               ("ingest_batch_rows", 1), ("top_n", 1),
+                               ("nodes", 1), ("num_shards", 1),
+                               ("replication", 1)):
+            value = int(getattr(self, field))
+            if value < minimum:
+                raise HarnessError(f"{field} must be >= {minimum}, "
+                                   f"got {getattr(self, field)}")
+            object.__setattr__(self, field, value)
+        for field in ("duration_seconds", "target_qps", "granularity"):
+            value = float(getattr(self, field))
+            if value <= 0:
+                raise HarnessError(f"{field} must be positive, got {value}")
+            object.__setattr__(self, field, value)
+        zipf_s = float(self.zipf_s)
+        if zipf_s < 0:
+            raise HarnessError(f"zipf_s must be >= 0, got {zipf_s}")
+        object.__setattr__(self, "zipf_s", zipf_s)
+        epsilon = float(self.epsilon)
+        if epsilon <= 0:
+            raise HarnessError(
+                f"epsilon must be positive (Eq. 1 is a strict accuracy "
+                f"contract), got {epsilon}")
+        object.__setattr__(self, "epsilon", epsilon)
+        burstiness = float(self.burstiness)
+        if not 0.0 <= burstiness < 1.0:
+            raise HarnessError(
+                f"burstiness must be in [0, 1), got {burstiness}")
+        object.__setattr__(self, "burstiness", burstiness)
+        ingest_fraction = float(self.ingest_fraction)
+        if not 0.0 <= ingest_fraction < 1.0:
+            raise HarnessError(
+                f"ingest_fraction must be in [0, 1), got {ingest_fraction}")
+        object.__setattr__(self, "ingest_fraction", ingest_fraction)
+        mix = tuple((str(kind), float(weight))
+                    for kind, weight in self.query_mix)
+        if not mix:
+            raise HarnessError("query_mix must not be empty")
+        unknown = {kind for kind, _ in mix} - set(QUERY_KINDS)
+        if unknown:
+            raise HarnessError(f"unknown query kinds {sorted(unknown)}; "
+                               f"use ones of {QUERY_KINDS}")
+        if any(weight < 0 for _, weight in mix) \
+                or not sum(weight for _, weight in mix) > 0:
+            raise HarnessError("query_mix weights must be >= 0 with a "
+                               "positive sum")
+        object.__setattr__(self, "query_mix", mix)
+        quantiles = tuple(float(q) for q in self.quantiles)
+        if not quantiles:
+            raise HarnessError("an experiment needs at least one quantile")
+        for q in quantiles + (float(self.threshold_q),):
+            if not 0.0 < q < 1.0:
+                raise HarnessError(
+                    f"quantile fractions must be in (0, 1), got {q}")
+        object.__setattr__(self, "quantiles", quantiles)
+        object.__setattr__(self, "threshold_q", float(self.threshold_q))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "oracle", bool(self.oracle))
+        object.__setattr__(self, "paced", bool(self.paced))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        """Open-loop event count: the arrival schedule's length."""
+        return max(int(round(self.target_qps * self.duration_seconds)), 1)
+
+    def mix_weights(self) -> tuple[tuple[str, ...], tuple[float, ...]]:
+        """Normalized (kinds, probabilities) of the query mix."""
+        kinds = tuple(kind for kind, _ in self.query_mix)
+        weights = [weight for _, weight in self.query_mix]
+        total = sum(weights)
+        return kinds, tuple(weight / total for weight in weights)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload: dict = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.name == "query_mix":
+                value = [[kind, weight] for kind, weight in value]
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[field.name] = value
+        return payload
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+        payload = dict(payload)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise HarnessError(
+                f"unknown experiment spec fields: {sorted(unknown)}")
+        for name in ("backends", "quantiles"):
+            if name in payload:
+                payload[name] = tuple(payload[name])
+        if "query_mix" in payload:
+            payload["query_mix"] = tuple(
+                (kind, weight) for kind, weight in payload["query_mix"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise HarnessError(f"invalid experiment spec JSON: {exc}") \
+                from None
+        if not isinstance(payload, Mapping):
+            raise HarnessError("experiment spec JSON must be an object")
+        return cls.from_dict(payload)

@@ -468,8 +468,13 @@ class TestResponseRoundTrip:
         assert again.to_json() == text
         payload = json.loads(text)
         assert payload["backend"] == "cube"
+        # Every route fills the solve accounting (the fused two-quantile
+        # estimate is one scalar solve), so the JSON carries it too.
         assert set(payload["timings"]) == {"planner_seconds", "merge_seconds",
-                                           "solve_seconds"}
+                                           "solve_seconds", "solve_calls",
+                                           "solve_route"}
+        assert payload["timings"]["solve_route"] == "scalar"
+        assert payload["timings"]["solve_calls"] == 1
 
     def test_group_keys_stringified_in_json(self, engine):
         response = QueryService(druid=engine).execute(QuerySpec(

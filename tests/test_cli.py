@@ -127,7 +127,9 @@ class TestSketchCommands:
         assert "0.5" in result["estimates"]
         assert 0 < result["bounds"]["0.5"] <= 1
         assert set(result["timings"]) == {"planner_seconds", "merge_seconds",
-                                          "solve_seconds"}
+                                          "solve_seconds", "solve_calls",
+                                          "solve_route"}
+        assert result["timings"]["solve_route"] == "scalar"
         # Flag-based invocation must agree with the spec-routed one.
         code, legacy = run_cli(capsys, "sketch", "query", str(sketch_file),
                                "--q", "0.5")

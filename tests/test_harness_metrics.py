@@ -1,0 +1,107 @@
+"""Unit tests for the harness observability layer.
+
+The latency aggregator's P50/P95/P99 must be numpy's percentiles of the
+recorded samples (no clever streaming approximations inside the tool
+that grades approximations), and degenerate sample sets — empty, single
+sample — must summarize instead of crashing the report.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import QueryTimings
+from repro.harness import LatencyAggregator, ResourceSampler, latency_summary
+
+
+class TestLatencySummary:
+    @pytest.mark.parametrize("distribution", [
+        np.random.default_rng(0).exponential(0.01, 1000),
+        np.random.default_rng(1).lognormal(-5.0, 1.0, 777),
+        np.random.default_rng(2).uniform(0.001, 0.2, 50),
+    ], ids=["exponential", "lognormal", "uniform"])
+    def test_percentiles_match_numpy(self, distribution):
+        summary = latency_summary(distribution)
+        assert summary["count"] == distribution.size
+        assert summary["p50_seconds"] == float(np.percentile(distribution, 50))
+        assert summary["p95_seconds"] == float(np.percentile(distribution, 95))
+        assert summary["p99_seconds"] == float(np.percentile(distribution, 99))
+        assert summary["mean_seconds"] == pytest.approx(distribution.mean())
+        assert summary["max_seconds"] == float(distribution.max())
+
+    def test_empty_is_zero_count_not_crash(self):
+        assert latency_summary([]) == {"count": 0}
+
+    def test_single_sample_is_every_percentile(self):
+        summary = latency_summary([0.042])
+        assert summary["count"] == 1
+        for key in ("p50_seconds", "p95_seconds", "p99_seconds",
+                    "mean_seconds", "max_seconds"):
+            assert summary[key] == pytest.approx(0.042)
+
+    def test_percentiles_ordered(self):
+        samples = np.random.default_rng(3).exponential(1.0, 500)
+        summary = latency_summary(samples)
+        assert (summary["p50_seconds"] <= summary["p95_seconds"]
+                <= summary["p99_seconds"] <= summary["max_seconds"])
+
+
+class TestLatencyAggregator:
+    def test_groups_by_backend_and_kind(self):
+        aggregator = LatencyAggregator()
+        for value in (0.1, 0.2, 0.3):
+            aggregator.record("cube", "quantile", value)
+        aggregator.record("cube", "group_by", 0.5)
+        aggregator.record("cluster", "quantile", 0.7)
+        summary = aggregator.summary()
+        assert summary["cube"]["quantile"]["count"] == 3
+        assert summary["cube"]["group_by"]["count"] == 1
+        assert summary["cluster"]["quantile"]["count"] == 1
+        assert aggregator.count() == 5
+        assert aggregator.count("cube") == 4
+
+    def test_empty_aggregator_summarizes_to_empty(self):
+        assert LatencyAggregator().summary() == {}
+
+    def test_phase_totals_fold_query_timings(self):
+        aggregator = LatencyAggregator()
+        aggregator.record("cube", "quantile", 0.1,
+                          timings=QueryTimings(planner_seconds=0.01,
+                                               merge_seconds=0.02,
+                                               solve_seconds=0.03,
+                                               solve_calls=2,
+                                               solve_route="batched"))
+        aggregator.record("cube", "quantile", 0.1,
+                          timings=QueryTimings(planner_seconds=0.01,
+                                               merge_seconds=0.02,
+                                               solve_seconds=0.03,
+                                               solve_calls=1,
+                                               solve_route="scalar"))
+        totals = aggregator.summary()["cube"]["phase_totals"]
+        assert totals["planner_seconds"] == pytest.approx(0.02)
+        assert totals["merge_seconds"] == pytest.approx(0.04)
+        assert totals["solve_seconds"] == pytest.approx(0.06)
+        assert totals["solve_calls"] == 3
+
+
+class TestResourceSampler:
+    def test_samples_cpu_and_rss(self):
+        with ResourceSampler(interval_seconds=0.02) as sampler:
+            deadline = time.perf_counter() + 0.2
+            while time.perf_counter() < deadline:  # busy loop: CPU > 0
+                sum(range(1000))
+        summary = sampler.summary()
+        assert summary["samples"] >= 2
+        assert summary["rss_max_bytes"] > 1_000_000
+        assert summary["cpu_percent_max"] > 0.0
+        for sample in sampler.samples:
+            assert sample["rss_bytes"] > 0
+            assert sample["at_seconds"] >= 0.0
+
+    def test_no_samples_still_reports_rss(self):
+        with ResourceSampler(interval_seconds=30.0) as sampler:
+            pass
+        summary = sampler.summary()
+        assert summary["samples"] == 0
+        assert summary["rss_max_bytes"] > 0
