@@ -1,19 +1,21 @@
 # Test and benchmark entry points.  `make test` is the CI gate: byte
 # compilation, tier-1 tests, plus smoke runs of the packed-merge,
-# batched-query, cluster-scaling, ingestion, and batched-group-solve
-# benchmarks, which fail on any packed-vs-loop divergence, broken scan
-# sharing, cluster answers that are not bit-exact across topologies and
-# failovers, non-idempotent batch replay, a columnar ingest speedup
-# below 5x, or a batched group solve below 3x at 1024 cells (or with
-# decisions that diverge from the scalar path), and a workload-harness
-# smoke (cube + cluster, sqlite exact oracle) that fails on any Eq. 1
-# rank-error contract violation.
+# batched-query, cluster-scaling, ingestion, batched-group-solve, and
+# tiered-storage benchmarks, which fail on any packed-vs-loop
+# divergence, broken scan sharing, cluster answers that are not
+# bit-exact across topologies and failovers, non-idempotent batch
+# replay, a columnar ingest speedup below 5x, a batched group solve
+# below 3x at 1024 cells (or with decisions that diverge from the
+# scalar path), a tiered store whose compaction is not bit-exact /
+# whose cold tier misses the 4x disk reduction or the cold-latency
+# ceiling, and a workload-harness smoke (cube + cluster, sqlite exact
+# oracle) that fails on any Eq. 1 rank-error contract violation.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench-solve \
-	bench-harness bench
+	bench-tiered bench-harness bench
 
 test:
 	$(PYTHON) -m compileall -q src
@@ -23,6 +25,7 @@ test:
 	$(PYTHON) benchmarks/bench_cluster_scaling.py --quick
 	$(PYTHON) benchmarks/bench_ingest.py --quick
 	$(PYTHON) benchmarks/bench_group_solve.py --quick
+	$(PYTHON) benchmarks/bench_tiered.py --quick
 	$(PYTHON) -m repro.cli harness run --spec examples/harness_smoke.json \
 		--out BENCH_harness.json --check
 
@@ -40,6 +43,9 @@ bench-ingest:
 
 bench-solve:
 	$(PYTHON) benchmarks/bench_group_solve.py --require-speedup 3
+
+bench-tiered:
+	$(PYTHON) benchmarks/bench_tiered.py
 
 # Full workload-harness experiment (longer than the smoke in `test`):
 # the paced 10-second mixed cube-vs-cluster run from the examples.

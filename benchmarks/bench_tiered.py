@@ -1,0 +1,169 @@
+"""Tiered storage gates: cold latency, compaction exactness, disk ratio.
+
+The persistent tier (:mod:`repro.storage`) makes three quantified
+promises on top of the RAM packed store:
+
+1. **Cold queries stay serviceable** — answering a quantile query from
+   a fully cold (low-precision, mmap'd) store costs at most
+   ``--max-cold-factor`` times the hot/warm answer (the decode is one
+   vectorized pass, not a per-row loop).
+2. **Compaction is bit-exact** — compacting the segment log to one
+   segment changes *no* byte of the gathered store (it only drops
+   superseded row versions).
+3. **Cold is small** — the ``keep_log=False`` cold profile (Appendix C
+   low-precision quantization, varint counts, f32 bounds) shrinks the
+   on-disk footprint by at least ``--require-ratio`` (default 4x)
+   versus the warm f64 segments at the paper's default k=10.
+
+Usage::
+
+    python benchmarks/bench_tiered.py            # full sizes
+    python benchmarks/bench_tiered.py --quick    # CI smoke
+
+Exits non-zero when any gate fails, so `make test` and the
+storage-smoke CI job treat regressions as failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import QueryService, QuerySpec  # noqa: E402
+from repro.storage import (ColdSpec, Compactor, TieredStore)  # noqa: E402
+
+
+def build_store(home: Path, keys: int, rows_per_batch: int,
+                batches: int, k: int, seed: int = 0) -> TieredStore:
+    rng = np.random.default_rng(seed)
+    store = TieredStore(home, k=k, track_log=True, dimensions=("cell",),
+                        hot_budget_bytes=max(keys * (6 + 2 * (k + 1)) * 4,
+                                             4096))
+    for _ in range(batches):
+        cells = rng.integers(0, keys, rows_per_batch).astype(str)
+        store.ingest_columns([cells], rng.lognormal(0, 1, rows_per_batch)
+                             + 0.01)
+    store.seal()
+    return store
+
+
+def median_latency(service: QueryService, backend: str, spec: QuerySpec,
+                   repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        service.execute(spec, backend=backend)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def gathered_state(store: TieredStore) -> tuple:
+    packed, keys = store.gather()
+    n = len(packed)
+    return (tuple(keys), packed.counts[:n].tobytes(),
+            packed.mins[:n].tobytes(), packed.maxs[:n].tobytes(),
+            packed.power_sums[:n].tobytes(), packed.log_sums[:n].tobytes(),
+            packed.log_valid[:n].tobytes())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smaller store")
+    parser.add_argument("--k", type=int, default=10,
+                        help="moment order (paper default 10)")
+    parser.add_argument("--max-cold-factor", type=float, default=25.0,
+                        help="cold quantile latency must stay within this "
+                             "factor of the hot latency (first cold query "
+                             "pays the one-time hydrate)")
+    parser.add_argument("--require-ratio", type=float, default=4.0,
+                        help="minimum warm/cold on-disk byte ratio for the "
+                             "keep_log=False profile")
+    args = parser.parse_args(argv)
+
+    keys = 300 if args.quick else 2000
+    batches = 8 if args.quick else 20
+    rows = 2000 if args.quick else 10_000
+    repeats = 5 if args.quick else 9
+    workdir = Path(tempfile.mkdtemp(prefix="bench-tiered-"))
+    failures: list[str] = []
+    try:
+        store = build_store(workdir / "tiers", keys, rows, batches, args.k)
+        segments = store.stats()["segments"]
+        print(f"built tiered store: {keys} keys, {batches}x{rows} rows, "
+              f"{len(segments)} warm segments, "
+              f"{store.disk_bytes():,} bytes on disk")
+
+        spec = QuerySpec(kind="quantile", quantiles=(0.5, 0.99))
+        service = QueryService(tiered=store)
+
+        # --- gate 1: hot/warm vs cold latency -------------------------
+        warm_latency = median_latency(service, "tiered", spec, repeats)
+        warm_state = gathered_state(store)
+        warm_bytes = store.disk_bytes()
+
+        store.demote(count=len(segments), spec=ColdSpec(keep_log=False))
+        cold_bytes = store.disk_bytes()
+        service = QueryService(tiered=store)  # new epoch, fresh gather
+        cold_latency = median_latency(service, "tiered", spec, repeats)
+        factor = cold_latency / warm_latency if warm_latency else np.inf
+        print(f"\nwarm quantile latency: {warm_latency * 1e3:8.3f} ms")
+        print(f"cold quantile latency: {cold_latency * 1e3:8.3f} ms "
+              f"({factor:.2f}x warm, limit {args.max_cold_factor:.1f}x)")
+        if factor > args.max_cold_factor:
+            failures.append(
+                f"cold latency {factor:.2f}x warm exceeds the "
+                f"{args.max_cold_factor:.1f}x limit")
+
+        # --- gate 2: disk reduction -----------------------------------
+        ratio = warm_bytes / cold_bytes if cold_bytes else np.inf
+        print(f"\nwarm on-disk bytes: {warm_bytes:>12,}")
+        print(f"cold on-disk bytes: {cold_bytes:>12,}  "
+              f"({ratio:.2f}x smaller, require >= {args.require_ratio:.1f}x)")
+        if ratio < args.require_ratio:
+            failures.append(f"cold disk reduction {ratio:.2f}x below the "
+                            f"required {args.require_ratio:.1f}x")
+        store.close(seal=False)
+
+        # --- gate 3: compaction bit-exactness -------------------------
+        # Rebuild warm (demotion above was lossy by design), then compact
+        # the whole log to one segment and diff every gathered buffer.
+        shutil.rmtree(workdir / "tiers")
+        store = build_store(workdir / "tiers", keys, rows, batches, args.k)
+        before = gathered_state(store)
+        rounds = Compactor(store).run_until_stable()
+        after = gathered_state(store)
+        reclaimed = sum(r["reclaimed_rows"] for r in rounds)
+        print(f"\ncompaction: {len(rounds)} rounds, {reclaimed} superseded "
+              f"rows reclaimed, "
+              f"{len(store.stats()['segments'])} segments remain")
+        if reclaimed <= 0:
+            failures.append("compaction reclaimed no superseded rows "
+                            "(the log never overlapped?)")
+        if after != before:
+            failures.append("compaction changed the gathered store "
+                            "(bit-exactness broken)")
+        else:
+            print("compaction equivalence: gathered store is bit-identical")
+        store.close(seal=False)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nall tiered-storage gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -482,11 +482,12 @@ def as_backend(obj, **kwargs) -> Backend:
             if predicate(obj):
                 return factory(obj, **kwargs)
         if attempt == 0:
-            # Layers above this module (the cluster serving layer)
-            # register their adapters on import; pull them in lazily so
-            # `QueryService(cluster=coordinator)` works without the
-            # caller importing repro.cluster first.
-            from .. import cluster  # noqa: F401
+            # Layers above this module (the cluster serving and tiered
+            # storage layers) register their adapters on import; pull
+            # them in lazily so `QueryService(cluster=coordinator)` or
+            # `QueryService(tiered=store)` works without the caller
+            # importing repro.cluster / repro.storage first.
+            from .. import cluster, storage  # noqa: F401
     raise QueryError(
         f"no backend adapter for {type(obj).__name__}; register one with "
         "repro.api.register_adapter or pass a Backend instance")

@@ -294,6 +294,55 @@ def cmd_harness_run(args: argparse.Namespace) -> dict:
     return record
 
 
+def cmd_storage_inspect(args: argparse.Namespace) -> dict:
+    """Dump one segment file's footer, keys, and per-tier geometry."""
+    from .storage import open_segment
+
+    reader = open_segment(args.segment, verify=not args.no_verify)
+    try:
+        info = {
+            "path": args.segment,
+            "kind": "cold" if reader.kind else "warm",
+            "k": reader.k,
+            "rows": reader.rows,
+            "track_log": reader.track_log,
+            "keeps_log": reader.keeps_log,
+            "size_bytes": reader.size_bytes,
+            "min_key": reader.min_key,
+            "max_key": reader.max_key,
+            "total_count": int(reader.counts.sum()),
+            "codec": reader.codec.to_dict() if reader.codec else None,
+        }
+        if args.keys:
+            info["keys"] = [list(key) for key in reader.keys]
+        return info
+    finally:
+        reader.close()
+
+
+def cmd_storage_compact(args: argparse.Namespace) -> dict:
+    """Open a tiered store directory and compact it until stable."""
+    from .storage import ColdSpec, CompactionPolicy, Compactor, TieredStore
+
+    policy = CompactionPolicy(size_ratio=args.size_ratio,
+                              min_run=args.min_run, max_run=args.max_run)
+    with TieredStore(args.directory) as store:
+        before = store.stats()
+        compactor = Compactor(store, policy=policy)
+        rounds = compactor.run_until_stable(max_rounds=args.max_rounds)
+        if args.demote_cold:
+            store.demote(count=len(before["segments"]), spec=ColdSpec())
+        after = store.stats()
+    return {"directory": args.directory, "rounds": rounds,
+            "segments_before": len(before["segments"]),
+            "segments_after": len(after["segments"]),
+            "rows_before": sum(s["rows"] for s in before["segments"]),
+            "rows_after": sum(s["rows"] for s in after["segments"]),
+            "disk_bytes_before": before["warm_bytes"] + before["cold_bytes"],
+            "disk_bytes_after": after["warm_bytes"] + after["cold_bytes"],
+            "segments": after["segments"]}
+
+
 def cmd_cluster_demo(args: argparse.Namespace) -> dict:
     """Build a simulated cluster, query it, kill a node, query again.
 
@@ -496,6 +545,35 @@ def build_parser() -> argparse.ArgumentParser:
     placement.add_argument("--replication", type=int, default=2)
     placement.add_argument("--vnodes", type=int, default=64)
     placement.set_defaults(handler=cmd_cluster_placement)
+
+    storage = subcommands.add_parser(
+        "storage", help="persistent tiered sketch storage (repro.storage)")
+    storage_sub = storage.add_subparsers(dest="action", required=True)
+
+    inspect = storage_sub.add_parser(
+        "inspect", help="dump a segment file's footer and geometry")
+    inspect.add_argument("segment", help="path to a .rsg segment file")
+    inspect.add_argument("--keys", action="store_true",
+                         help="include the full sorted key list")
+    inspect.add_argument("--no-verify", action="store_true",
+                         help="skip the body checksum (faster on huge files)")
+    inspect.set_defaults(handler=cmd_storage_inspect)
+
+    compact = storage_sub.add_parser(
+        "compact", help="run leveled compaction on a tiered store directory")
+    compact.add_argument("directory", help="TieredStore home directory")
+    compact.add_argument("--size-ratio", type=float, default=4.0,
+                         help="rows-per-level fanout of the leveled policy")
+    compact.add_argument("--min-run", type=int, default=2,
+                         help="smallest same-level run worth merging")
+    compact.add_argument("--max-run", type=int, default=8,
+                         help="largest run merged in one pass")
+    compact.add_argument("--max-rounds", type=int, default=64,
+                         help="safety cap on compaction rounds")
+    compact.add_argument("--demote-cold", action="store_true",
+                         help="re-encode surviving warm segments with the "
+                              "low-precision cold codec afterwards")
+    compact.set_defaults(handler=cmd_storage_compact)
 
     harness = subcommands.add_parser(
         "harness", help="production workload harness (repro.harness)")

@@ -27,7 +27,10 @@ Membership operations:
 
 from __future__ import annotations
 
+import json
+import shutil
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -36,7 +39,7 @@ from ..core.errors import ClusterError, QueryError
 from ..core.grouping import lexsort_groups
 from ..druid.aggregators import (AggregatorFactory, MomentsSketchAggregator)
 from .hashring import DEFAULT_VNODES, HashRing, shard_of
-from .node import DataNode
+from .node import SHARD_MANIFEST, DataNode
 
 
 @dataclass(frozen=True)
@@ -74,6 +77,14 @@ class ClusterCoordinator:
         a cell's replicas colocate and group-bys stay node-local.
     replication:
         Live copies kept per shard (>= 2 survives single-node failure).
+    storage_root:
+        When set, shard movement (rebalance, repair, restore) travels
+        as content-named segment files plus a shard manifest under
+        ``storage_root/<node>/shard-<id>/``
+        (:meth:`~repro.cluster.node.DataNode.export_shard_files`)
+        instead of full in-memory snapshot blobs: a re-repair after a
+        small ingest delta copies only the chunk segments whose
+        checksum changed.  Requires all-packed aggregators.
     """
 
     def __init__(self, dimensions: Sequence[str],
@@ -81,7 +92,8 @@ class ClusterCoordinator:
                  num_shards: int = 64, replication: int = 2,
                  granularity: float = 3600.0, packed_moments: bool = True,
                  vnodes: int = DEFAULT_VNODES,
-                 nodes: Sequence[str] = ()):
+                 nodes: Sequence[str] = (),
+                 storage_root: str | None = None):
         if not dimensions:
             raise QueryError("need at least one dimension")
         if int(num_shards) < 1:
@@ -95,6 +107,7 @@ class ClusterCoordinator:
         self.packed_names = frozenset(
             name for name, factory in self.aggregators.items()
             if packed_moments and isinstance(factory, MomentsSketchAggregator))
+        self.storage_root = Path(storage_root) if storage_root else None
         self.ring = HashRing(replication=replication, vnodes=vnodes)
         self.nodes: dict[str, DataNode] = {}
         self.last_rebalance: RebalanceReport | None = None
@@ -211,7 +224,12 @@ class ClusterCoordinator:
         for shard in list(node.shards):
             source = self._live_holder(shard, exclude=node_id)
             if source is not None:
-                node.import_shard(source.export_shard(shard))
+                if self.storage_root is not None:
+                    exported = self._shard_dir(source.node_id, shard)
+                    source.export_shard_files(shard, exported)
+                    self._copy_shard_files(exported, node, shard)
+                else:
+                    node.import_shard(source.export_shard(shard))
         if node_id not in self.ring:
             self.ring.add_node(node_id)
         self.last_rebalance = self._rebalance()
@@ -238,6 +256,37 @@ class ClusterCoordinator:
                 return node
         return None
 
+    def _shard_dir(self, node_id: str, shard: int) -> Path:
+        assert self.storage_root is not None
+        return self.storage_root / str(node_id) / f"shard-{int(shard):05d}"
+
+    def _copy_shard_files(self, src_dir: Path, target: DataNode,
+                          shard: int) -> int:
+        """Sync one exported shard directory onto ``target`` and import it.
+
+        Content-named segment files the target already holds are skipped
+        — only missing segments plus the manifest travel — which is the
+        bytes saving segment-granular replication exists for.  Returns
+        the bytes actually copied.
+        """
+        tgt_dir = self._shard_dir(target.node_id, shard)
+        tgt_dir.mkdir(parents=True, exist_ok=True)
+        manifest = json.loads((src_dir / SHARD_MANIFEST).read_text())
+        live = {entry["file"] for entry in manifest["segments"]}
+        copied = 0
+        for name in sorted(live):
+            destination = tgt_dir / name
+            if not destination.is_file():
+                shutil.copyfile(src_dir / name, destination)
+                copied += destination.stat().st_size
+        shutil.copyfile(src_dir / SHARD_MANIFEST, tgt_dir / SHARD_MANIFEST)
+        copied += (tgt_dir / SHARD_MANIFEST).stat().st_size
+        for path in tgt_dir.iterdir():
+            if path.name.endswith(".seg") and path.name not in live:
+                path.unlink()
+        target.import_shard_files(shard, tgt_dir)
+        return copied
+
     def _rebalance(self) -> RebalanceReport:
         """Make physical shard placement match the ring's ownership."""
         copied = dropped = bytes_copied = 0
@@ -245,17 +294,26 @@ class ClusterCoordinator:
         for shard, owners in placement.items():
             source = self._live_holder(shard)
             if source is not None:
+                exported = None
                 for node_id in owners:
                     target = self.nodes[node_id]
                     if not target.alive or shard in target.shards:
                         continue
-                    # One snapshot per target: import_shard installs the
-                    # snapshot's segments directly, so sharing one across
-                    # targets would alias mutable state between replicas.
-                    snapshot = source.export_shard(shard)
-                    target.import_shard(snapshot)
+                    if self.storage_root is not None:
+                        if exported is None:
+                            exported = self._shard_dir(source.node_id, shard)
+                            source.export_shard_files(shard, exported)
+                        bytes_copied += self._copy_shard_files(
+                            exported, target, shard)
+                    else:
+                        # One snapshot per target: import_shard installs
+                        # the snapshot's segments directly, so sharing one
+                        # across targets would alias mutable state between
+                        # replicas.
+                        snapshot = source.export_shard(shard)
+                        target.import_shard(snapshot)
+                        bytes_copied += snapshot.size_bytes()
                     copied += 1
-                    bytes_copied += snapshot.size_bytes()
             for node_id, node in self.nodes.items():
                 if node_id not in owners and node.alive \
                         and shard in node.shards:

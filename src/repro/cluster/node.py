@@ -20,7 +20,11 @@ bits.
 
 from __future__ import annotations
 
+import json
+import os
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -30,6 +34,9 @@ from ..core.grouping import check_columns
 from ..druid.aggregators import AggregatorFactory, AggregatorState
 from ..druid.engine import DruidEngine, Segment
 from ..store import PackedSketchStore
+
+#: Per-shard segment-file manifest name (see :meth:`DataNode.export_shard_files`).
+SHARD_MANIFEST = "SHARD.json"
 
 
 @dataclass
@@ -151,6 +158,158 @@ class DataNode:
             engine.segments[segment.chunk] = segment
         self.shards[snapshot.shard] = engine
         self._applied[snapshot.shard] = set(snapshot.applied)
+
+    # ------------------------------------------------------------------
+    # Segment-granular file replication
+    # ------------------------------------------------------------------
+
+    def export_shard_files(self, shard: int, directory) -> dict:
+        """Persist a shard as content-named segment files plus a manifest.
+
+        Each ``(chunk, aggregator)`` packed store becomes one
+        :mod:`repro.storage.format` segment file named by its content
+        checksum, so an unchanged store maps to an unchanged file name —
+        a re-export after incremental ingest rewrites only the chunks
+        that actually changed, and a replica syncing from the directory
+        copies only names it is missing (segment-granular replication,
+        vs shipping the full-store blob snapshot every time).  The
+        shard manifest (``SHARD.json``, atomic rename) records the live
+        file set, chunk mapping, and the idempotency ledger.
+
+        Restricted to all-packed engines: object-layout aggregator
+        states have no segment-file form, so such shards must travel as
+        :class:`ShardSnapshot` blobs.  Returns ``{"files", "bytes",
+        "bytes_written", "manifest"}`` where ``bytes_written`` counts
+        only newly materialized segment bytes.
+        """
+        from ..storage.format import build_segment_bytes, canonical_key
+
+        engine = self.shards.get(shard)
+        if engine is None:
+            raise ClusterError(
+                f"node {self.node_id!r} does not host shard {shard}")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        entries: list[dict] = []
+        live_files: set[str] = set()
+        total = written = 0
+        for chunk in sorted(engine.segments):
+            segment = engine.segments[chunk]
+            if any(cell for cell in segment.cells.values()):
+                raise ClusterError(
+                    "segment-file export needs all-packed aggregators; "
+                    f"shard {shard} chunk {chunk} holds object states")
+            for name in sorted(segment.packed):
+                store = segment.packed[name]
+                rows = segment.packed_rows.get(name, {})
+                keys = [None] * len(store)
+                for key, row in rows.items():
+                    keys[row] = canonical_key(key)
+                if any(key is None for key in keys):
+                    raise ClusterError(
+                        f"shard {shard} chunk {chunk} aggregator {name!r} "
+                        "has unkeyed packed rows; cannot export")
+                # first_seen = the store's own row numbering, so import
+                # can rebuild rows in the original ingest order.
+                blob = build_segment_bytes(store, keys,
+                                           np.arange(len(store)))
+                file_name = (f"{name}-{zlib.crc32(blob):08x}"
+                             f"{len(blob):x}.seg")
+                path = directory / file_name
+                if not path.is_file():
+                    tmp = directory / (file_name + ".tmp")
+                    with open(tmp, "wb") as stream:
+                        stream.write(blob)
+                        stream.flush()
+                        os.fsync(stream.fileno())
+                    os.replace(tmp, path)
+                    written += len(blob)
+                total += len(blob)
+                live_files.add(file_name)
+                entries.append({"chunk": chunk, "aggregator": name,
+                                "file": file_name, "rows": len(store),
+                                "bytes": len(blob)})
+        manifest = {"shard": int(shard), "dimensions": list(self.dimensions),
+                    "granularity": self.granularity,
+                    "applied": [list(stamp) for stamp
+                                in sorted(self._applied.get(shard, ()),
+                                          key=repr)],
+                    "segments": entries}
+        tmp = directory / (SHARD_MANIFEST + ".tmp")
+        tmp.write_text(json.dumps(manifest, separators=(",", ":"),
+                                  default=str))
+        os.replace(tmp, directory / SHARD_MANIFEST)
+        for path in directory.iterdir():
+            # GC: superseded segment files and stale temp debris.
+            if path.name.endswith(".tmp") or (
+                    path.name.endswith(".seg")
+                    and path.name not in live_files):
+                path.unlink()
+        return {"files": len(live_files), "bytes": total,
+                "bytes_written": written,
+                "manifest": str(directory / SHARD_MANIFEST)}
+
+    def import_shard_files(self, shard: int, directory) -> None:
+        """Rebuild a shard from :meth:`export_shard_files` output.
+
+        The reconstruction is bit-exact: segment rows are reordered by
+        their recorded first-seen stamps back into the store's original
+        row numbering, so every post-import fold sees the identical
+        operand order.
+        """
+        from ..storage.format import open_segment
+
+        directory = Path(directory)
+        try:
+            manifest = json.loads((directory / SHARD_MANIFEST).read_text())
+        except (FileNotFoundError, json.JSONDecodeError) as exc:
+            raise ClusterError(
+                f"no readable shard manifest in {directory}: {exc}") \
+                from None
+        if int(manifest["shard"]) != int(shard):
+            raise ClusterError(
+                f"directory {directory} holds shard {manifest['shard']}, "
+                f"asked to import shard {shard}")
+        if tuple(manifest["dimensions"]) != self.dimensions:
+            raise ClusterError(
+                f"shard manifest dimensions {manifest['dimensions']} do not "
+                f"match node dimensions {list(self.dimensions)}")
+        engine = DruidEngine(dimensions=self.dimensions,
+                             aggregators=self.aggregators,
+                             granularity=self.granularity,
+                             processing_threads=1,
+                             packed_moments=self.packed_moments)
+        for entry in manifest["segments"]:
+            reader = open_segment(directory / entry["file"])
+            try:
+                order = np.argsort(reader.first_seen)
+                store = PackedSketchStore(k=reader.k,
+                                          track_log=reader.track_log,
+                                          capacity=reader.rows)
+                for _ in range(reader.rows):
+                    store.new_row()
+                store.counts[:reader.rows] = reader.counts[order]
+                store.mins[:reader.rows] = reader.mins[order]
+                store.maxs[:reader.rows] = reader.maxs[order]
+                store.power_sums[:reader.rows] = reader.power_sums[order]
+                store.log_sums[:reader.rows] = reader.log_sums[order]
+                store.log_valid[:reader.rows] = reader.log_valid[order]
+                keys = [reader.keys[i] for i in order]
+            finally:
+                reader.close()
+            chunk = int(entry["chunk"])
+            segment = engine.segments.get(chunk)
+            if segment is None:
+                segment = Segment(chunk=chunk)
+                engine.segments[chunk] = segment
+            segment.packed[entry["aggregator"]] = store
+            segment.packed_rows[entry["aggregator"]] = {
+                key: row for row, key in enumerate(keys)}
+            for key in keys:
+                segment.cells.setdefault(key, {})
+        self.shards[int(manifest["shard"])] = engine
+        self._applied[int(manifest["shard"])] = {
+            tuple(stamp) for stamp in manifest.get("applied", ())}
 
     # ------------------------------------------------------------------
     # Failure simulation

@@ -22,7 +22,7 @@ import struct
 import numpy as np
 
 from .errors import EncodingError
-from .sketch import MomentsSketch
+from .sketch import MAX_ORDER, MomentsSketch
 
 _HEADER = struct.Struct("<4sBBBBhH")
 _MAGIC = b"MSKC"
@@ -37,6 +37,53 @@ def _split(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     signs = np.signbit(values)
     mantissa, exponent = np.frexp(np.abs(values))
     return signs, exponent, mantissa
+
+
+# ----------------------------------------------------------------------
+# Shared bit-packing kernels
+# ----------------------------------------------------------------------
+#
+# ``width``-bit words packed MSB-first into a contiguous bitstream.
+# These are the vectorized kernels behind both the per-sketch
+# :class:`LowPrecisionCodec` and the cold-tier column codec in
+# :mod:`repro.storage.format` — one ``np.packbits``/``np.unpackbits``
+# pass instead of a per-bit Python loop.
+
+def pack_words(words: np.ndarray, width: int) -> bytes:
+    """Pack uint64 words of ``width`` significant bits into a bitstream."""
+    if not 1 <= width <= 64:
+        raise EncodingError(f"word width must be in [1, 64], got {width}")
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bits = ((words[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def unpack_words(payload: np.ndarray | bytes, count: int,
+                 width: int) -> np.ndarray:
+    """Inverse of :func:`pack_words`: ``count`` uint64 words."""
+    if not 1 <= width <= 64:
+        raise EncodingError(f"word width must be in [1, 64], got {width}")
+    payload = np.frombuffer(bytes(payload), dtype=np.uint8) \
+        if not isinstance(payload, np.ndarray) else payload
+    bits = np.unpackbits(payload, count=None)
+    if bits.size < width * count:
+        raise EncodingError("truncated bit-packed payload")
+    bits = bits[: width * count].reshape(count, width).astype(np.uint64)
+    weights = np.left_shift(np.uint64(1),
+                            np.arange(width - 1, -1, -1, dtype=np.uint64))
+    return (bits * weights).sum(axis=1, dtype=np.uint64)
+
+
+def split_fields(words: np.ndarray, mantissa_bits: int, exponent_bits: int
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose packed words into (signs, exponent offsets, significands)."""
+    width = 1 + exponent_bits + mantissa_bits
+    signs = words >> np.uint64(width - 1)
+    offsets = (words >> np.uint64(mantissa_bits)) \
+        & np.uint64((1 << exponent_bits) - 1)
+    significands = words & np.uint64((1 << mantissa_bits) - 1)
+    return signs, offsets, significands
 
 
 def quantize(values: np.ndarray, mantissa_bits: int,
@@ -122,6 +169,22 @@ class LowPrecisionCodec:
             _HEADER.unpack_from(blob)
         if magic != _MAGIC:
             raise EncodingError(f"bad magic {magic!r}")
+        if not 1 <= k <= MAX_ORDER:
+            raise EncodingError(f"corrupt header: order {k} out of range")
+        if not 1 <= mantissa_bits <= 52 or not 2 <= exponent_bits <= 11:
+            raise EncodingError(
+                f"corrupt header: {mantissa_bits} mantissa / "
+                f"{exponent_bits} exponent bits out of range")
+        families = 2 if flags & 1 else 1
+        if count_values != families * k:
+            raise EncodingError(
+                f"corrupt header: {count_values} packed values for order "
+                f"{k} with {families} moment families")
+        width = 1 + exponent_bits + mantissa_bits
+        expected = _HEADER.size + 24 + (count_values * width + 7) // 8
+        if len(blob) != expected:
+            raise EncodingError(
+                f"payload holds {len(blob)} bytes, expected {expected}")
         xmin, xmax, count = struct.unpack_from("<ddd", blob, _HEADER.size)
         payload = np.frombuffer(blob, dtype=np.uint8, offset=_HEADER.size + 24)
         signs, offsets, significands = self._unpack(
@@ -157,28 +220,12 @@ class LowPrecisionCodec:
     def _pack(self, signs: np.ndarray, offsets: np.ndarray,
               significands: np.ndarray) -> np.ndarray:
         width = self.bits_per_value
-        words = (signs << (width - 1)) | (offsets << self.mantissa_bits) | significands
-        total_bits = width * words.size
-        bits = np.zeros(total_bits, dtype=np.uint8)
-        for i, word in enumerate(words):
-            for b in range(width):
-                bits[i * width + b] = (int(word) >> (width - 1 - b)) & 1
-        return np.packbits(bits)
+        words = ((signs << np.uint64(width - 1))
+                 | (offsets << np.uint64(self.mantissa_bits)) | significands)
+        return np.frombuffer(pack_words(words, width), dtype=np.uint8)
 
     def _unpack(self, payload: np.ndarray, count: int, mantissa_bits: int,
                 exponent_bits: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         width = 1 + exponent_bits + mantissa_bits
-        bits = np.unpackbits(payload)[: width * count]
-        if bits.size < width * count:
-            raise EncodingError("truncated compressed payload")
-        signs = np.zeros(count, dtype=np.uint64)
-        offsets = np.zeros(count, dtype=np.uint64)
-        significands = np.zeros(count, dtype=np.uint64)
-        for i in range(count):
-            word = 0
-            for b in bits[i * width:(i + 1) * width]:
-                word = (word << 1) | int(b)
-            signs[i] = word >> (width - 1)
-            offsets[i] = (word >> mantissa_bits) & ((1 << exponent_bits) - 1)
-            significands[i] = word & ((1 << mantissa_bits) - 1)
-        return signs, offsets, significands
+        words = unpack_words(payload, count, width)
+        return split_fields(words, mantissa_bits, exponent_bits)

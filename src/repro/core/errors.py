@@ -84,6 +84,17 @@ class ClusterError(ReproError):
     """Invalid cluster topology operation or unroutable shard."""
 
 
+class StorageError(ReproError):
+    """Invalid tiered-storage operation or corrupt on-disk state.
+
+    Raised by :mod:`repro.storage` for malformed segment files (bad
+    magic, checksum mismatch, truncated columns), unreplayable
+    manifests, and tier-configuration errors.  Corruption is always an
+    explicit error — the storage layer never silently serves a damaged
+    segment.
+    """
+
+
 class HarnessError(ReproError):
     """Invalid workload-harness experiment spec or failed run contract.
 

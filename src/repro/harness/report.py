@@ -56,6 +56,17 @@ can see performance and accuracy *over time* instead of flying blind.
           },
           "agreement": {             # cross-backend, vs backends[0]
             "<backend>": {"queries": int, "exact_matches": int}
+          },
+          "storage": {               # additive (still schema /1):
+                                     # present when spec drives a
+                                     # tiered backend
+            "knobs": {...},          # spec.storage verbatim
+            "hot_budget_bytes": int, "cold_fraction": float,
+            "segments": int, "seals": int, "hot_rows": int,
+            "warm_bytes": int, "cold_bytes": int,
+            "disk_bytes": int,       # on-disk segment footprint
+            "ram_bytes": int,        # gathered packed-store footprint
+            "disk_over_ram": float   # the tiered-vs-RAM byte delta
           }
         }
       ]

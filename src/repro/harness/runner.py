@@ -33,6 +33,8 @@ between the cube and a multi-node cluster.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -113,15 +115,20 @@ def _make_rows(spec: ExperimentSpec, total: int
     return cell_column, values
 
 
-def _build_sessions(spec: ExperimentSpec) -> dict[str, IngestSession]:
+def _build_sessions(spec: ExperimentSpec, storage_dir: str | None
+                    ) -> dict[str, IngestSession]:
     """One spec-built engine + ingest session per requested backend."""
     sessions = {}
+    knobs = spec.storage_dict()
     for backend in spec.backends:
         ingest_spec = IngestSpec(
             backend=backend, dimensions=("cell",), k=spec.k,
             granularity=spec.granularity, num_shards=spec.num_shards,
             replication=spec.replication, nodes=spec.nodes,
-            flush_rows=None)
+            flush_rows=None,
+            storage_dir=storage_dir if backend == "tiered" else None,
+            hot_budget_bytes=(knobs.get("hot_budget_bytes")
+                              if backend == "tiered" else None))
         sessions[backend] = IngestSession(build_target(ingest_spec),
                                           ingest_spec)
     return sessions
@@ -205,13 +212,24 @@ def run_experiment(spec: ExperimentSpec, trajectory_path=None,
     cell_column, values = _make_rows(spec, total_rows)
     timestamps = cell_column.astype(float)  # one chunk/shard per cell
 
-    sessions = _build_sessions(spec)
+    knobs = spec.storage_dict()
+    cold_fraction = float(knobs.get("cold_fraction", 0.0))
+    storage_dir = temp_storage = None
+    if "tiered" in spec.backends:
+        storage_dir = knobs.get("dir")
+        if storage_dir is None:
+            storage_dir = temp_storage = tempfile.mkdtemp(
+                prefix="repro-tiered-")
+    sessions = _build_sessions(spec, storage_dir)
     oracle = ExactOracle("cell") if spec.oracle else None
     service = QueryService()
     latencies = LatencyAggregator()
     tallies = {name: _AccuracyTally(spec.epsilon) for name in spec.backends}
+    # A cold fraction makes the tiered tier deliberately lossy, so it
+    # leaves the bit-exact agreement check (the ε contract still grades it).
     agreement = {name: {"queries": 0, "exact_matches": 0}
-                 for name in spec.backends[1:]}
+                 for name in spec.backends[1:]
+                 if not (name == "tiered" and cold_fraction > 0)}
 
     def flush_batch(start: int, stop: int) -> None:
         for name, session in sessions.items():
@@ -228,6 +246,23 @@ def run_experiment(spec: ExperimentSpec, trajectory_path=None,
     # Preload, then derive the run's threshold pool from exact answers.
     # ------------------------------------------------------------------
     flush_batch(0, spec.rows)
+    if "tiered" in sessions and cold_fraction > 0:
+        if spec.backends[0] == "tiered":
+            raise HarnessError(
+                "a cold_fraction > 0 makes the tiered backend lossy; it "
+                "cannot be the reference backend")
+        from ..storage import ColdSpec
+        store = sessions["tiered"].backend.read_target()
+        store.seal()
+        sealed = len(store.stats()["segments"])
+        # Conservative cold profile: the harness still grades cold
+        # answers against the ε contract, and the Newton solve amplifies
+        # quantization of high-order moments (Figure 17), so the default
+        # 10-bit mantissa can breach ε. 20 mantissa bits with the log
+        # family kept stays within the contract; the aggressive >=4x
+        # keep_log=False profile is bench_tiered's gate instead.
+        store.demote(count=max(1, round(cold_fraction * sealed)),
+                     spec=ColdSpec(mantissa_bits=20, keep_log=True))
     _register_backends(service, sessions)
     base = np.sort(values[:spec.rows])
     thresholds = tuple(float(base[min(int(f * base.size), base.size - 1)])
@@ -269,14 +304,38 @@ def run_experiment(spec: ExperimentSpec, trajectory_path=None,
                 payload = _payload_of(response)
                 if name == spec.backends[0]:
                     reference_payload = payload
-                else:
+                elif name in agreement:
                     agreement[name]["queries"] += 1
                     agreement[name]["exact_matches"] += int(
                         payload == reference_payload)
         elapsed = time.perf_counter() - started
 
+    storage_record = None
+    if "tiered" in sessions:
+        store = sessions["tiered"].backend.read_target()
+        stats = store.stats()
+        ram_bytes = store.gather()[0].size_bytes()
+        disk_bytes = store.disk_bytes()
+        storage_record = {
+            "knobs": knobs,
+            "hot_budget_bytes": stats["hot_budget_bytes"],
+            "cold_fraction": cold_fraction,
+            "segments": len(stats["segments"]),
+            "seals": stats["seals"],
+            "hot_rows": stats["hot_rows"],
+            "warm_bytes": stats["warm_bytes"],
+            "cold_bytes": stats["cold_bytes"],
+            "disk_bytes": disk_bytes,
+            "ram_bytes": ram_bytes,
+            "disk_over_ram": (disk_bytes / ram_bytes if ram_bytes else 0.0),
+        }
+
     for session in sessions.values():
         session.close()
+    if "tiered" in sessions:
+        sessions["tiered"].backend.read_target().close(seal=False)
+    if temp_storage is not None:
+        shutil.rmtree(temp_storage, ignore_errors=True)
 
     record = {
         "schema": SCHEMA_VERSION,
@@ -295,6 +354,8 @@ def run_experiment(spec: ExperimentSpec, trajectory_path=None,
         "resources": sampler.summary(),
         "agreement": agreement,
     }
+    if storage_record is not None:
+        record["storage"] = storage_record
     if oracle is not None:
         record["accuracy"] = {"epsilon": spec.epsilon}
         for name, tally in tallies.items():

@@ -25,7 +25,10 @@ from ..core.errors import HarnessError
 from ..datasets import available
 
 #: Backends an experiment may exercise (ingest-spec registry names).
-BACKENDS = ("cube", "druid", "packed", "cluster")
+BACKENDS = ("cube", "druid", "packed", "cluster", "tiered")
+
+#: Keys the ``storage`` knob accepts (tiered-backend tuning).
+STORAGE_KEYS = ("hot_budget_bytes", "cold_fraction", "dir")
 
 #: Query kinds the traffic generator can emit.
 QUERY_KINDS = ("quantile", "group_by", "top_n", "threshold_count")
@@ -96,6 +99,17 @@ class ExperimentSpec:
         Master seed for the schedule, the dataset, and the row stream.
     nodes, num_shards, replication, granularity:
         Cluster topology for spec-built ``cluster`` backends.
+    storage:
+        Tiered-storage tuning for a ``tiered`` backend, as a mapping
+        with any of :data:`STORAGE_KEYS`: ``hot_budget_bytes`` (hot-tier
+        byte budget before flushes seal into on-disk segments),
+        ``cold_fraction`` (fraction of sealed segments demoted to the
+        low-precision cold codec after preload; ``0`` keeps every tier
+        lossless, so the tiered backend stays in the exact cross-backend
+        agreement check), and ``dir`` (segment home directory; default
+        is a throwaway temp directory).  Requires ``"tiered"`` among
+        ``backends``; the emitted record gains a ``storage`` section
+        with disk-vs-RAM byte deltas.
     """
 
     name: str = "experiment"
@@ -124,6 +138,7 @@ class ExperimentSpec:
     num_shards: int = 16
     replication: int = 2
     granularity: float = 1.0
+    storage: tuple = ()
 
     def __post_init__(self):
         object.__setattr__(self, "backends",
@@ -199,6 +214,32 @@ class ExperimentSpec:
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "oracle", bool(self.oracle))
         object.__setattr__(self, "paced", bool(self.paced))
+        storage = self.storage
+        pairs = (tuple(storage.items()) if isinstance(storage, Mapping)
+                 else tuple((str(k), v) for k, v in storage))
+        unknown = {key for key, _ in pairs} - set(STORAGE_KEYS)
+        if unknown:
+            raise HarnessError(f"unknown storage keys {sorted(unknown)}; "
+                               f"use ones of {STORAGE_KEYS}")
+        knobs = dict(pairs)
+        if "hot_budget_bytes" in knobs:
+            if int(knobs["hot_budget_bytes"]) < 1:
+                raise HarnessError("storage.hot_budget_bytes must be "
+                                   f"positive, got {knobs['hot_budget_bytes']}")
+            knobs["hot_budget_bytes"] = int(knobs["hot_budget_bytes"])
+        if "cold_fraction" in knobs:
+            fraction = float(knobs["cold_fraction"])
+            if not 0.0 <= fraction <= 1.0:
+                raise HarnessError("storage.cold_fraction must be in "
+                                   f"[0, 1], got {fraction}")
+            knobs["cold_fraction"] = fraction
+        if "dir" in knobs:
+            knobs["dir"] = str(knobs["dir"])
+        if knobs and "tiered" not in self.backends:
+            raise HarnessError("the storage knob tunes the tiered backend; "
+                               "add 'tiered' to backends")
+        object.__setattr__(self, "storage",
+                           tuple(sorted(knobs.items())))
 
     # ------------------------------------------------------------------
     # Derived views
@@ -208,6 +249,10 @@ class ExperimentSpec:
     def num_events(self) -> int:
         """Open-loop event count: the arrival schedule's length."""
         return max(int(round(self.target_qps * self.duration_seconds)), 1)
+
+    def storage_dict(self) -> dict:
+        """The storage knob as a plain dict (empty without the knob)."""
+        return dict(self.storage)
 
     def mix_weights(self) -> tuple[tuple[str, ...], tuple[float, ...]]:
         """Normalized (kinds, probabilities) of the query mix."""
@@ -226,6 +271,8 @@ class ExperimentSpec:
             value = getattr(self, field.name)
             if field.name == "query_mix":
                 value = [[kind, weight] for kind, weight in value]
+            elif field.name == "storage":
+                value = dict(value)
             elif isinstance(value, tuple):
                 value = list(value)
             payload[field.name] = value

@@ -438,9 +438,15 @@ def as_write_backend(obj, spec: IngestSpec | None = None,
     """Adapt a raw engine object (or pass a WriteBackend through)."""
     if isinstance(obj, WriteBackend):
         return obj
-    for predicate, factory in WRITE_ADAPTERS:
-        if predicate(obj):
-            return factory(obj, spec=spec, **kwargs)
+    for attempt in range(2):
+        for predicate, factory in WRITE_ADAPTERS:
+            if predicate(obj):
+                return factory(obj, spec=spec, **kwargs)
+        if attempt == 0:
+            # The storage layer registers its adapter on import; pull it
+            # in lazily so IngestSession(TieredStore(...)) works without
+            # the caller importing repro.storage first.
+            from .. import storage  # noqa: F401
     raise IngestError(
         f"no write-backend adapter for {type(obj).__name__}; register one "
         "with repro.ingest.register_write_adapter or pass a WriteBackend")
@@ -504,4 +510,12 @@ def build_target(spec: IngestSpec):
             num_shards=spec.num_shards or 16,
             replication=spec.replication or 2,
             granularity=spec.granularity or 3600.0, nodes=nodes)
+    if spec.backend == "tiered":
+        if spec.storage_dir is None:
+            raise IngestError("a tiered target needs spec.storage_dir")
+        from ..storage import DEFAULT_HOT_BUDGET, TieredStore
+        return TieredStore(
+            spec.storage_dir, k=spec.k, track_log=spec.track_log,
+            dimensions=spec.dimensions,
+            hot_budget_bytes=spec.hot_budget_bytes or DEFAULT_HOT_BUDGET)
     raise IngestError(f"cannot build a {spec.backend!r} target")

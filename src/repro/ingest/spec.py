@@ -21,7 +21,8 @@ from typing import Mapping
 from ..core.errors import IngestError
 
 #: Write-backend kinds an IngestSpec may target (registry display names).
-BACKENDS = ("cube", "druid", "packed", "window", "cluster", "fanout")
+BACKENDS = ("cube", "druid", "packed", "window", "cluster", "fanout",
+            "tiered")
 
 #: Flush trigger names recorded on reports.
 TRIGGERS = ("rows", "bytes", "explicit", "close")
@@ -70,6 +71,13 @@ class IngestSpec:
         Hard backpressure cap: with auto-flush disabled, an append that
         would exceed this raises
         :class:`~repro.core.errors.BackpressureError`.
+    storage_dir:
+        Home directory for a ``tiered`` target built from the spec
+        (:class:`~repro.storage.TieredStore`).  Required for
+        ``backend="tiered"``.
+    hot_budget_bytes:
+        Hot-tier byte budget for ``tiered`` targets: past it, flushes
+        seal into immutable on-disk segments automatically.
     """
 
     backend: str | None = None
@@ -87,6 +95,8 @@ class IngestSpec:
     flush_rows: int | None = 100_000
     flush_bytes: int | None = None
     max_pending_rows: int | None = None
+    storage_dir: str | None = None
+    hot_budget_bytes: int | None = None
 
     def __post_init__(self):
         if self.backend is not None and self.backend not in BACKENDS:
@@ -107,8 +117,11 @@ class IngestSpec:
             object.__setattr__(self, "granularity", float(self.granularity))
         if self.threshold is not None:
             object.__setattr__(self, "threshold", float(self.threshold))
+        if self.storage_dir is not None:
+            object.__setattr__(self, "storage_dir", str(self.storage_dir))
         for name in ("pane_size", "window_panes", "num_shards", "replication",
-                     "nodes", "flush_rows", "flush_bytes", "max_pending_rows"):
+                     "nodes", "flush_rows", "flush_bytes", "max_pending_rows",
+                     "hot_budget_bytes"):
             value = getattr(self, name)
             if value is None:
                 continue

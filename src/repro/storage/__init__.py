@@ -1,0 +1,31 @@
+"""Persistent tiered sketch storage: mmap segments, LSM writes, hot/cold.
+
+The subsystem the ROADMAP's "persistent tiered storage" item asks for:
+
+* :mod:`repro.storage.format` — the immutable, versioned, checksummed
+  segment file (warm zero-copy mmap layout + Figure 17 low-precision
+  cold layout);
+* :mod:`repro.storage.manifest` — the crash-safe JSON-log manifest with
+  atomic segment-set swaps;
+* :mod:`repro.storage.tiered` — :class:`TieredStore`, the
+  read-modify-write LSM facade whose lossless tiers answer bit-exactly
+  against a RAM-resident :class:`~repro.store.PackedSketchStore`;
+* :mod:`repro.storage.compactor` — leveled size-ratio compaction,
+  explicit ``run_once`` plus a background thread;
+* :mod:`repro.storage.backends` — ingest/query adapters registered into
+  :mod:`repro.ingest` and :mod:`repro.api` on import.
+"""
+
+from .compactor import CompactionPolicy, Compactor
+from .format import (ColdSpec, SegmentFile, build_segment_bytes,
+                     canonical_key, open_segment, sort_key, write_segment)
+from .manifest import MANIFEST_NAME, Manifest
+from .tiered import DEFAULT_HOT_BUDGET, TieredStore
+from .backends import TieredBackend, TieredWriteBackend  # noqa: E402  (registers adapters)
+
+__all__ = [
+    "CompactionPolicy", "Compactor", "ColdSpec", "SegmentFile",
+    "build_segment_bytes", "canonical_key", "open_segment", "sort_key",
+    "write_segment", "MANIFEST_NAME", "Manifest", "DEFAULT_HOT_BUDGET",
+    "TieredStore", "TieredBackend", "TieredWriteBackend",
+]

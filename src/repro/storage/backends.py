@@ -1,0 +1,96 @@
+"""Ingest and query adapters that plug a :class:`TieredStore` into the
+unified APIs.
+
+:class:`TieredWriteBackend` makes ``backend="tiered"`` a first-class
+:mod:`repro.ingest` target: session flushes become hot-tier
+accumulates (and, past the byte budget, sealed L0 segments) through the
+store's own kernel — which is the RAM
+:class:`~repro.ingest.backends.PackedStoreWriteBackend` kernel, so
+flushed rows land bit-identically to a RAM store fed the same batches.
+
+:class:`TieredBackend` answers the :mod:`repro.api` read protocol by
+gathering the store's newest versions into a RAM
+:class:`~repro.store.PackedSketchStore` (cached per store epoch, so
+back-to-back queries pay one gather) and delegating every roll-up to a
+plain :class:`~repro.api.backends.PackedStoreBackend` — query semantics
+on a tiered store are *defined* to be the packed-store semantics over
+the gathered state.
+
+Importing this module registers both adapters, so
+``QueryService(tiered=store)`` and ``IngestSession(store)`` work on a
+raw :class:`TieredStore`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..api.backends import (Backend, GroupRollupResult, PackedStoreBackend,
+                            RollupResult, register_adapter)
+from ..core.solver import SolverConfig
+from ..ingest.backends import (WriteBackend, WriteOutcome,
+                               register_write_adapter)
+from ..ingest.buffer import WriteBatch, check_columns
+from ..ingest.spec import IngestSpec
+from .tiered import TieredStore
+
+
+class TieredWriteBackend(WriteBackend):
+    """Adapter over a :class:`TieredStore` for ingest sessions."""
+
+    name = "tiered"
+
+    def __init__(self, store: TieredStore, spec: IngestSpec | None = None):
+        self.store = store
+        self.dimensions = store.dimensions
+
+    def write(self, batch: WriteBatch) -> WriteOutcome:
+        check_columns(len(self.dimensions), batch.dims, batch.values,
+                      context="tiered ingest")
+        if batch.rows == 0:
+            return WriteOutcome(cells=0)
+        start = time.perf_counter()
+        cells = self.store.ingest_columns(list(batch.dims), batch.values)
+        return WriteOutcome(cells=cells,
+                            pack_seconds=time.perf_counter() - start)
+
+    def read_target(self) -> TieredStore:
+        return self.store
+
+
+class TieredBackend(Backend):
+    """Adapter over a :class:`TieredStore` for the query service."""
+
+    name = "tiered"
+    supports_packed = True
+
+    def __init__(self, store: TieredStore,
+                 config: SolverConfig | None = None):
+        self.store = store
+        self.config = config or SolverConfig()
+        self._epoch: int | None = None
+        self._inner: PackedStoreBackend | None = None
+
+    def _delegate(self) -> PackedStoreBackend:
+        """The packed backend over the current epoch's gathered state."""
+        if self._inner is None or self._epoch != self.store.epoch:
+            packed, keys = self.store.gather()
+            if self.store.dimensions:
+                self._inner = PackedStoreBackend(
+                    packed, keys=keys, dimensions=self.store.dimensions,
+                    config=self.config)
+            else:
+                self._inner = PackedStoreBackend(packed, config=self.config)
+            self._epoch = self.store.epoch
+        return self._inner
+
+    def rollup(self, spec) -> RollupResult:
+        return self._delegate().rollup(spec)
+
+    def group_rollup(self, spec) -> GroupRollupResult:
+        return self._delegate().group_rollup(spec)
+
+
+register_write_adapter(lambda obj: isinstance(obj, TieredStore),
+                       TieredWriteBackend)
+register_adapter(lambda obj: isinstance(obj, TieredStore), TieredBackend)

@@ -1,0 +1,137 @@
+"""Background segment compaction with a leveled size-ratio policy.
+
+Every seal appends one small L0 segment, so an ingest-heavy store
+accumulates many small files whose older rows are superseded garbage
+(the RMW write path re-seals a key's full accumulator every time it is
+touched again).  The :class:`Compactor` garbage-collects them:
+
+* :class:`CompactionPolicy` buckets segments into levels by
+  ``floor(log_ratio(rows))`` and picks the oldest **contiguous** run of
+  same-level segments at least ``min_run`` long.  Contiguity in age
+  order is a correctness requirement, not a heuristic — newest-version-
+  wins resolution is positional, and merging non-adjacent segments
+  could lift an old version above a newer one.
+* :meth:`Compactor.run_once` applies one round deterministically
+  (tests drive this); :meth:`Compactor.start` runs rounds on a daemon
+  thread until :meth:`Compactor.stop`.
+
+Compaction never re-folds sketches — it copies each key's newest row
+byte-exactly (see :meth:`~repro.storage.TieredStore.compact_run`) — so
+a compacted store answers every query with the same bits as before.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from ..core.errors import StorageError
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Leveled size-ratio selection of one compaction run.
+
+    ``size_ratio`` is the level width (level = floor(log_ratio(rows))):
+    4.0 means segments within a 4x row-count band compact together, and
+    each compaction promotes the result roughly one level up.
+    ``min_run``/``max_run`` bound how many same-level neighbors trigger
+    and join one round.
+    """
+
+    size_ratio: float = 4.0
+    min_run: int = 2
+    max_run: int = 8
+
+    def __post_init__(self):
+        if not self.size_ratio > 1.0:
+            raise StorageError(
+                f"size_ratio must exceed 1, got {self.size_ratio}")
+        if not 2 <= int(self.min_run) <= int(self.max_run):
+            raise StorageError(
+                f"need 2 <= min_run <= max_run, got {self.min_run}"
+                f"/{self.max_run}")
+
+    def level_of(self, rows: int) -> int:
+        return int(math.floor(math.log(max(int(rows), 1))
+                              / math.log(self.size_ratio)))
+
+    def pick_run(self, segments) -> tuple[int, int] | None:
+        """Oldest contiguous same-level run of >= min_run segments."""
+        levels = [self.level_of(seg.rows) for seg in segments]
+        start = 0
+        while start < len(levels):
+            stop = start + 1
+            while stop < len(levels) and levels[stop] == levels[start]:
+                stop += 1
+            if stop - start >= self.min_run:
+                return start, min(stop, start + self.max_run)
+            start = stop
+        return None
+
+
+class Compactor:
+    """Drives compaction rounds against one :class:`TieredStore`.
+
+    ``run_once`` is the deterministic unit (tests and the CLI call it
+    directly); ``start``/``stop`` wrap it in a daemon thread that
+    sleeps ``interval`` seconds whenever a round finds nothing to do.
+    """
+
+    def __init__(self, store, policy: CompactionPolicy | None = None,
+                 interval: float = 0.05):
+        self.store = store
+        self.policy = policy or CompactionPolicy()
+        self.interval = float(interval)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.rounds = 0
+
+    def run_once(self) -> dict | None:
+        """One compaction round; ``None`` when no run qualifies."""
+        run = self.policy.pick_run(self.store.segments)
+        if run is None:
+            return None
+        outcome = self.store.compact_run(*run)
+        self.rounds += 1
+        return outcome
+
+    def run_until_stable(self, max_rounds: int = 64) -> list[dict]:
+        """Compact until quiescent (bounded); returns each round's outcome."""
+        outcomes = []
+        for _ in range(max_rounds):
+            outcome = self.run_once()
+            if outcome is None:
+                break
+            outcomes.append(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-compactor", daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if self.run_once() is None:
+                self._stop.wait(self.interval)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "Compactor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,560 @@
+"""On-disk segment format for packed sketch stores.
+
+A *segment* is one immutable, versioned, checksummed file holding the
+structure-of-arrays buffers of a :class:`~repro.store.PackedSketchStore`
+plus a sorted cell-key index, so cold sketch state can live on disk and
+still feed the vectorized merge kernels:
+
+* **Warm** segments store every column as raw little-endian float64 in
+  exactly the :class:`~repro.store.PackedSketchStore` row layout
+  (``power_sums``/``log_sums`` keep the redundant count in column 0), so
+  :func:`open_segment` maps the file once with :mod:`mmap` and exposes
+  zero-copy ``np.frombuffer`` views — a ``batch_merge`` over a warm
+  segment reduces directly over page-cache memory.
+* **Cold** segments apply the paper's low-precision encoding (Appendix
+  C / Figure 17, :mod:`repro.core.encoding`): moment sums are quantized
+  with randomized rounding and bit-packed at ``1 + exponent_bits +
+  mantissa_bits`` bits per value against one shared base exponent per
+  moment family, counts become LEB128 varints (they are exact
+  integers), and min/max drop to outward-rounded float32 so the support
+  interval only ever widens.  By default the cold profile keeps the
+  power family only (``keep_log=False``) — the configuration that
+  buys a >4x disk-footprint reduction; ``keep_log=True`` retains log
+  moments at ~3x.  Cold columns hydrate to float64 on first access
+  with one vectorized unpack.
+
+Layout (version 1)::
+
+    header   <4sBBBBxxxQ  magic "RSG1", version, kind, k, flags, rows
+    body     column blocks (see the writer), byte offsets in the footer
+    keys     UTF-8 JSON array of cell-key arrays, sorted by sort key
+    footer   UTF-8 JSON (k, kind, rows, key range, codec, offsets, crc32)
+    tail     <I footer length, magic "RSGF"
+
+The footer's ``crc32`` covers header+body+keys; :func:`open_segment`
+verifies it before trusting any offset.  Everything is little-endian and
+independent of the writing host.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.encoding import pack_words, quantize, split_fields, unpack_words
+from ..core.errors import StorageError
+from ..core.sketch import MAX_ORDER
+from ..store import PackedSketchStore
+
+_HEADER = struct.Struct("<4sBBBBxxxQ")
+_TAIL = struct.Struct("<I4s")
+_MAGIC = b"RSG1"
+_TAIL_MAGIC = b"RSGF"
+_VERSION = 1
+
+KIND_WARM = 0
+KIND_COLD = 1
+_FLAG_TRACK_LOG = 1
+_FLAG_KEEP_LOG = 2
+
+
+# ----------------------------------------------------------------------
+# Cell keys
+# ----------------------------------------------------------------------
+
+def canonical_key(key) -> tuple:
+    """A cell key as a tuple of plain JSON scalars.
+
+    Canonical keys survive the segment key block's JSON round trip
+    unchanged, so the in-memory key index and a reopened segment's key
+    index always agree: numpy scalars drop to their Python values and
+    anything non-JSON becomes its ``str``.
+    """
+    if not isinstance(key, tuple):
+        key = (key,)
+    parts = []
+    for part in key:
+        if hasattr(part, "item"):
+            part = part.item()
+        if part is not None and not isinstance(part, (str, int, float, bool)):
+            part = str(part)
+        parts.append(part)
+    return tuple(parts)
+
+
+def sort_key(key: tuple) -> str:
+    """The total order segments are sorted and pruned by."""
+    return json.dumps(list(key), separators=(",", ":"), default=str)
+
+
+# ----------------------------------------------------------------------
+# Cold codec configuration
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColdSpec:
+    """Low-precision profile for cold segments (Figure 17 knobs).
+
+    ``mantissa_bits``/``exponent_bits`` follow
+    :class:`~repro.core.encoding.LowPrecisionCodec`; ``keep_log=False``
+    (the default) drops the log-moment family entirely — the profile
+    that achieves the >=4x disk reduction — trading some accuracy on
+    long-tailed data.  ``seed`` makes the randomized rounding
+    deterministic per store, so demotion is reproducible.
+    """
+
+    mantissa_bits: int = 10
+    exponent_bits: int = 8
+    keep_log: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 1 <= int(self.mantissa_bits) <= 52:
+            raise StorageError(f"mantissa_bits must be in [1, 52], "
+                               f"got {self.mantissa_bits}")
+        if not 2 <= int(self.exponent_bits) <= 11:
+            raise StorageError(f"exponent_bits must be in [2, 11], "
+                               f"got {self.exponent_bits}")
+        object.__setattr__(self, "mantissa_bits", int(self.mantissa_bits))
+        object.__setattr__(self, "exponent_bits", int(self.exponent_bits))
+        object.__setattr__(self, "keep_log", bool(self.keep_log))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @property
+    def bits_per_value(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    def to_dict(self) -> dict:
+        return {"mantissa_bits": self.mantissa_bits,
+                "exponent_bits": self.exponent_bits,
+                "keep_log": self.keep_log, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload) -> "ColdSpec":
+        return cls(**{key: payload[key] for key in
+                      ("mantissa_bits", "exponent_bits", "keep_log", "seed")
+                      if key in payload})
+
+
+# ----------------------------------------------------------------------
+# Varint counts (cold tier)
+# ----------------------------------------------------------------------
+
+def _encode_counts(counts: np.ndarray) -> bytes:
+    """LEB128-encode integral float64 counts (exact at any magnitude)."""
+    if not np.all(counts == np.floor(counts)) or np.any(counts < 0):
+        raise StorageError(
+            "cold segments require non-negative integral counts; "
+            "keep non-integral stores on the warm tier")
+    out = bytearray()
+    for value in counts:
+        value = int(value)
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def _decode_counts(payload: bytes, rows: int) -> np.ndarray:
+    out = np.empty(rows, dtype=float)
+    position = 0
+    for row in range(rows):
+        value = 0
+        shift = 0
+        while True:
+            if position >= len(payload):
+                raise StorageError("truncated varint count block")
+            byte = payload[position]
+            position += 1
+            value |= (byte & 0x7F) << shift
+            shift += 7
+            if not byte & 0x80:
+                break
+        out[row] = float(value)
+    if position != len(payload):
+        raise StorageError("trailing bytes after varint count block")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Cold sum columns
+# ----------------------------------------------------------------------
+
+def _encode_sums(sums: np.ndarray, spec: ColdSpec,
+                 rng: np.random.Generator) -> tuple[bytes, int]:
+    """Quantize + bit-pack one family's ``[N, k]`` sums (no count col).
+
+    Returns the packed bytes and the family's shared base exponent.
+    Values already on the quantization grid re-encode bit-identically
+    (``frac == 0`` in the randomized rounding), which is what keeps
+    cold-to-cold compaction lossless.
+    """
+    values = np.ascontiguousarray(sums, dtype=float).ravel()
+    quantized = quantize(values, spec.mantissa_bits, rng) if values.size \
+        else values
+    signs = np.signbit(quantized)
+    mantissa, exponent = np.frexp(np.abs(quantized))
+    finite = exponent[quantized != 0.0]
+    base = int(finite.min()) if finite.size else 0
+    span = 1 << spec.exponent_bits
+    offsets = np.where(quantized == 0.0, 0, exponent - base + 1)
+    if offsets.max(initial=0) >= span:
+        raise StorageError(
+            f"exponent range {int(offsets.max())} exceeds the "
+            f"{spec.exponent_bits}-bit cold field; raise exponent_bits")
+    significands = np.round(
+        mantissa * (1 << spec.mantissa_bits)).astype(np.uint64)
+    significands[quantized == 0.0] = 0
+    width = spec.bits_per_value
+    words = ((signs.astype(np.uint64) << np.uint64(width - 1))
+             | (offsets.astype(np.uint64) << np.uint64(spec.mantissa_bits))
+             | significands)
+    return pack_words(words, width), base
+
+
+def _decode_sums(payload: bytes, rows: int, k: int, base: int,
+                 spec: ColdSpec) -> np.ndarray:
+    """Inverse of :func:`_encode_sums`: one vectorized unpack."""
+    count = rows * k
+    words = unpack_words(np.frombuffer(payload, dtype=np.uint8), count,
+                         spec.bits_per_value)
+    signs, offsets, significands = split_fields(
+        words, spec.mantissa_bits, spec.exponent_bits)
+    mantissa = significands.astype(float) / (1 << spec.mantissa_bits)
+    values = np.ldexp(mantissa, offsets.astype(np.int64) + base - 1)
+    values[offsets == 0] = 0.0
+    values[signs.astype(bool)] *= -1.0
+    return values.reshape(rows, k)
+
+
+def _outward_f32(values: np.ndarray, direction: float) -> np.ndarray:
+    """Round float64 to float32 without crossing ``direction``-ward.
+
+    ``direction=-inf`` guarantees the result <= the input (mins),
+    ``+inf`` guarantees >= (maxs), so the cold support interval always
+    contains the true one.
+    """
+    rounded = values.astype(np.float32)
+    if direction < 0:
+        overshoot = rounded.astype(float) > values
+    else:
+        overshoot = rounded.astype(float) < values
+    rounded[overshoot] = np.nextafter(
+        rounded[overshoot], np.float32(direction))
+    return rounded
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+
+def build_segment_bytes(store: PackedSketchStore, keys, first_seen,
+                        cold: ColdSpec | None = None) -> bytes:
+    """Serialize live store rows (plus keys/first-seen) as one segment.
+
+    Rows are re-sorted by :func:`sort_key` — the segment's cell-key
+    index is its row order.  ``cold=None`` writes the lossless warm
+    layout; a :class:`ColdSpec` writes the low-precision cold layout.
+    """
+    n = len(store)
+    if n == 0:
+        raise StorageError("refusing to write an empty segment")
+    keys = [canonical_key(key) for key in keys]
+    first_seen = np.asarray(first_seen, dtype=np.uint64)
+    if len(keys) != n or first_seen.size != n:
+        raise StorageError(
+            f"need one key and first-seen stamp per row: {n} rows vs "
+            f"{len(keys)} keys / {first_seen.size} stamps")
+    sorters = [sort_key(key) for key in keys]
+    if len(set(sorters)) != n:
+        raise StorageError("duplicate cell keys in one segment")
+    order = np.asarray(sorted(range(n), key=lambda row: sorters[row]),
+                       dtype=np.intp)
+    counts = store.counts[:n][order]
+    mins = store.mins[:n][order]
+    maxs = store.maxs[:n][order]
+    power = store.power_sums[:n][order]
+    logs = store.log_sums[:n][order]
+    log_valid = store.log_valid[:n][order]
+    seen = first_seen[order]
+    if not np.all(np.isfinite(mins)):
+        raise StorageError("segment rows must be non-empty sketches")
+
+    kind = KIND_WARM if cold is None else KIND_COLD
+    flags = (_FLAG_TRACK_LOG if store.track_log else 0)
+    offsets: dict[str, int] = {}
+    body = bytearray()
+
+    def block(name: str, payload: bytes) -> None:
+        offsets[name] = _HEADER.size + len(body)
+        body.extend(payload)
+
+    codec_meta = None
+    if cold is None:
+        block("counts", counts.astype("<f8").tobytes())
+        block("mins", mins.astype("<f8").tobytes())
+        block("maxs", maxs.astype("<f8").tobytes())
+        block("power", np.ascontiguousarray(power).astype("<f8").tobytes())
+        if store.track_log:
+            block("log", np.ascontiguousarray(logs).astype("<f8").tobytes())
+            block("log_valid", log_valid.astype(np.uint8).tobytes())
+        block("first_seen", seen.astype("<u8").tobytes())
+    else:
+        keep_log = store.track_log and cold.keep_log
+        if keep_log:
+            flags |= _FLAG_KEEP_LOG
+        rng = np.random.default_rng(cold.seed)
+        block("counts", _encode_counts(counts))
+        block("mins", _outward_f32(mins, -np.inf).astype("<f4").tobytes())
+        block("maxs", _outward_f32(maxs, np.inf).astype("<f4").tobytes())
+        if seen.max(initial=0) >= 1 << 32:
+            raise StorageError("cold first-seen stamps exceed 32 bits")
+        block("first_seen", seen.astype("<u4").tobytes())
+        packed, power_base = _encode_sums(power[:, 1:], cold, rng)
+        block("power", packed)
+        bases = {"power": power_base}
+        if keep_log:
+            block("log_valid", log_valid.astype(np.uint8).tobytes())
+            packed, log_base = _encode_sums(logs[:, 1:], cold, rng)
+            block("log", packed)
+            bases["log"] = log_base
+        codec_meta = dict(cold.to_dict(), bases=bases)
+
+    key_block = json.dumps([list(keys[row]) for row in order],
+                           separators=(",", ":"), default=str).encode("utf-8")
+    offsets["keys"] = _HEADER.size + len(body)
+    offsets["end"] = offsets["keys"] + len(key_block)
+
+    header = _HEADER.pack(_MAGIC, _VERSION, kind, store.k, flags, n)
+    crc = zlib.crc32(body)
+    crc = zlib.crc32(key_block, crc)
+    footer = json.dumps({
+        "version": _VERSION, "kind": kind, "k": store.k,
+        "track_log": store.track_log, "rows": n,
+        "min_key": sorters[int(order[0])], "max_key": sorters[int(order[-1])],
+        "codec": codec_meta, "offsets": offsets, "crc32": crc,
+    }, separators=(",", ":")).encode("utf-8")
+    return (header + bytes(body) + key_block + footer
+            + _TAIL.pack(len(footer), _TAIL_MAGIC))
+
+
+def write_segment(path, store: PackedSketchStore, keys, first_seen,
+                  cold: ColdSpec | None = None) -> dict:
+    """Atomically write one segment file (tmp + fsync + rename).
+
+    Returns the footer dict (callers use ``rows``/``crc32``/``kind``).
+    """
+    path = Path(path)
+    blob = build_segment_bytes(store, keys, first_seen, cold=cold)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as stream:
+        stream.write(blob)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+    footer_len, = struct.unpack_from("<I", blob, len(blob) - _TAIL.size)
+    return json.loads(blob[len(blob) - _TAIL.size - footer_len:
+                           len(blob) - _TAIL.size].decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+
+class SegmentFile:
+    """One open, memory-mapped segment.
+
+    Warm columns are zero-copy read-only views over the mapping; cold
+    columns hydrate to float64 on first access (one vectorized unpack,
+    cached).  ``power_sums``/``log_sums`` always come back ``[N, k+1]``
+    with column 0 duplicating the count — the exact
+    :class:`~repro.store.PackedSketchStore` row layout — so gathers and
+    merges are layout-blind to the tier they read from.
+    """
+
+    def __init__(self, path, verify: bool = True):
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        try:
+            self._map = mmap.mmap(self._file.fileno(), 0,
+                                  access=mmap.ACCESS_READ)
+        except ValueError:
+            self._file.close()
+            raise StorageError(f"{self.path.name}: empty segment file") \
+                from None
+        try:
+            self._parse(verify)
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self, verify: bool) -> None:
+        view = self._map
+        if len(view) < _HEADER.size + _TAIL.size:
+            raise StorageError(f"{self.path.name}: truncated segment")
+        magic, version, kind, k, flags, rows = _HEADER.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path.name}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise StorageError(
+                f"{self.path.name}: unsupported segment version {version}")
+        if kind not in (KIND_WARM, KIND_COLD):
+            raise StorageError(f"{self.path.name}: unknown kind {kind}")
+        if not 1 <= k <= MAX_ORDER:
+            raise StorageError(f"{self.path.name}: order {k} out of range")
+        footer_len, tail_magic = _TAIL.unpack_from(view,
+                                                   len(view) - _TAIL.size)
+        if tail_magic != _TAIL_MAGIC:
+            raise StorageError(f"{self.path.name}: bad tail magic")
+        footer_start = len(view) - _TAIL.size - footer_len
+        if footer_start < _HEADER.size:
+            raise StorageError(f"{self.path.name}: footer overruns header")
+        try:
+            footer = json.loads(view[footer_start:footer_start + footer_len]
+                                .decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"{self.path.name}: corrupt footer: {exc}") from None
+        if footer.get("rows") != rows or footer.get("k") != k \
+                or footer.get("kind") != kind:
+            raise StorageError(
+                f"{self.path.name}: footer disagrees with header")
+        if verify:
+            crc = zlib.crc32(view[_HEADER.size:footer_start])
+            if crc != footer.get("crc32"):
+                raise StorageError(
+                    f"{self.path.name}: checksum mismatch "
+                    f"({crc} != {footer.get('crc32')})")
+        self.kind = kind
+        self.k = k
+        self.rows = rows
+        self.track_log = bool(flags & _FLAG_TRACK_LOG)
+        # "Does this file ship log-moment columns?" — warm segments always
+        # carry whatever the store tracked; cold ones only with keep_log.
+        self.keeps_log = (self.track_log if kind == KIND_WARM
+                          else bool(flags & _FLAG_KEEP_LOG))
+        self.footer = footer
+        self.min_key = footer["min_key"]
+        self.max_key = footer["max_key"]
+        self.codec = (ColdSpec.from_dict(footer["codec"])
+                      if footer.get("codec") else None)
+        offsets = footer["offsets"]
+        keys = json.loads(view[offsets["keys"]:offsets["end"]]
+                          .decode("utf-8"))
+        if len(keys) != rows:
+            raise StorageError(f"{self.path.name}: key index length "
+                               f"{len(keys)} != {rows} rows")
+        self.keys = [tuple(key) for key in keys]
+        self.sort_keys = [sort_key(key) for key in self.keys]
+        self._offsets = offsets
+        self._hydrated: dict[str, np.ndarray] | None = None
+        if self.kind == KIND_WARM:
+            self.counts = self._column("counts", "<f8", rows)
+            self.mins = self._column("mins", "<f8", rows)
+            self.maxs = self._column("maxs", "<f8", rows)
+            self.power_sums = self._column(
+                "power", "<f8", rows * (k + 1)).reshape(rows, k + 1)
+            if self.track_log:
+                self.log_sums = self._column(
+                    "log", "<f8", rows * (k + 1)).reshape(rows, k + 1)
+                self.log_valid = self._column(
+                    "log_valid", np.uint8, rows).astype(bool)
+            else:
+                self.log_sums = np.zeros((rows, k + 1))
+                self.log_valid = np.zeros(rows, dtype=bool)
+            self.first_seen = self._column("first_seen", "<u8",
+                                           rows).astype(np.int64)
+        else:
+            self._hydrate()
+
+    def _column(self, name: str, dtype, count: int) -> np.ndarray:
+        start = self._offsets[name]
+        array = np.frombuffer(self._map, dtype=dtype, count=count,
+                              offset=start)
+        return array
+
+    def _block(self, name: str, stop_name: str) -> bytes:
+        return bytes(self._map[self._offsets[name]:self._offsets[stop_name]])
+
+    def _hydrate(self) -> None:
+        """Decode cold columns to float64 (cached, one vectorized pass)."""
+        spec = self.codec
+        rows, k = self.rows, self.k
+        order = list(self._offsets)
+        blocks = {name: self._block(name, order[order.index(name) + 1])
+                  for name in order if name not in ("end",)}
+        self.counts = _decode_counts(blocks["counts"], rows)
+        self.mins = np.frombuffer(blocks["mins"], dtype="<f4").astype(float)
+        self.maxs = np.frombuffer(blocks["maxs"], dtype="<f4").astype(float)
+        self.first_seen = np.frombuffer(blocks["first_seen"],
+                                        dtype="<u4").astype(np.int64)
+        bases = self.footer["codec"]["bases"]
+        self.power_sums = np.empty((rows, k + 1))
+        self.power_sums[:, 0] = self.counts
+        self.power_sums[:, 1:] = _decode_sums(blocks["power"], rows, k,
+                                              bases["power"], spec)
+        self.log_sums = np.zeros((rows, k + 1))
+        if self.keeps_log:
+            self.log_valid = np.frombuffer(blocks["log_valid"],
+                                           dtype=np.uint8).astype(bool)
+            self.log_sums[:, 0] = self.counts
+            self.log_sums[:, 1:] = _decode_sums(blocks["log"], rows, k,
+                                                bases["log"], spec)
+        else:
+            # The log family was not shipped: poison it so merges touching
+            # cold rows honestly fall back to power-only estimation.
+            self.log_valid = np.zeros(rows, dtype=bool)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._map)
+
+    def maybe_contains(self, sorter: str) -> bool:
+        """Key-range pruning: can this segment hold ``sorter`` at all?"""
+        return self.min_key <= sorter <= self.max_key
+
+    def rows_for(self, sorters) -> np.ndarray:
+        """Row index per sort key (-1 when absent), one binary search."""
+        table = np.asarray(self.sort_keys, dtype=object)
+        probes = np.asarray(list(sorters), dtype=object)
+        positions = np.searchsorted(table, probes)
+        positions = np.clip(positions, 0, self.rows - 1)
+        hits = table[positions] == probes
+        return np.where(hits, positions, -1).astype(np.intp)
+
+    def close(self) -> None:
+        if getattr(self, "_map", None) is not None:
+            # Views into the mapping die with the reader; drop ours first.
+            for name in ("counts", "mins", "maxs", "power_sums", "log_sums",
+                         "log_valid", "first_seen"):
+                if hasattr(self, name):
+                    delattr(self, name)
+            self._map.close()
+            self._map = None
+        if getattr(self, "_file", None) is not None:
+            self._file.close()
+            self._file = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "cold" if self.kind == KIND_COLD else "warm"
+        return (f"SegmentFile({self.path.name!r}, {kind}, rows={self.rows}, "
+                f"k={self.k})")
+
+
+def open_segment(path, verify: bool = True) -> SegmentFile:
+    """Open (and by default checksum-verify) one segment file."""
+    return SegmentFile(path, verify=verify)

@@ -1,0 +1,121 @@
+"""Crash-safe manifest for a tiered store directory.
+
+The manifest is an append-only JSON-lines log (``MANIFEST.log``).  Every
+line is a *complete* description of the live state — store parameters
+plus the full ordered segment list — so recovery never reconstructs
+state from a prefix of operations:
+
+* **Atomic swaps** — a compaction that replaces segments ``A, B`` with
+  ``C`` appends one line whose segment list contains ``C`` and not
+  ``A``/``B``.  Readers switch segment sets at exactly one line
+  boundary.
+* **Torn tails** — the last line of a log can be half-written when the
+  process dies mid-append.  Replay keeps the *last fully parseable*
+  line and ignores any trailing garbage, so a crash costs at most the
+  uncommitted swap, never the store.
+* **Orphans** — segment files written but never committed (crash
+  between ``write_segment`` and :meth:`Manifest.commit`) are simply not
+  in the replayed list; :class:`~repro.storage.TieredStore` deletes
+  them on open.
+
+Lines are fsynced on commit: once :meth:`commit` returns, the swap
+survives power loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.errors import StorageError
+
+MANIFEST_NAME = "MANIFEST.log"
+
+
+class Manifest:
+    """The JSON-log manifest of one tiered store directory."""
+
+    def __init__(self, directory, meta: dict | None = None,
+                 segments: tuple[str, ...] = (), seq: int = 0):
+        self.directory = Path(directory)
+        self.path = self.directory / MANIFEST_NAME
+        self.meta = dict(meta or {})
+        self.segments = tuple(segments)
+        self.seq = int(seq)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def exists(cls, directory) -> bool:
+        return (Path(directory) / MANIFEST_NAME).is_file()
+
+    @classmethod
+    def open(cls, directory) -> "Manifest":
+        """Replay the log, keeping the last fully parseable line.
+
+        Torn or corrupt trailing lines are tolerated (they are the
+        expected debris of a crash mid-append); a manifest with *no*
+        parseable line is an error — that store cannot be trusted.
+        """
+        path = Path(directory) / MANIFEST_NAME
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            raise StorageError(f"no manifest in {directory}") from None
+        state = None
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # torn tail / partial append
+            if not isinstance(record, dict) or "segments" not in record \
+                    or "meta" not in record:
+                continue
+            state = record
+        if state is None:
+            raise StorageError(
+                f"{path}: no replayable manifest line (corrupt log)")
+        return cls(directory, meta=state["meta"],
+                   segments=tuple(state["segments"]),
+                   seq=int(state.get("seq", 0)))
+
+    @classmethod
+    def create(cls, directory, meta: dict) -> "Manifest":
+        """Initialize a fresh store directory with an empty segment set."""
+        manifest = cls(directory, meta=meta)
+        manifest.commit(())
+        return manifest
+
+    # ------------------------------------------------------------------
+
+    def commit(self, segments) -> None:
+        """Append (and fsync) one complete state line: the atomic swap."""
+        segments = tuple(str(name) for name in segments)
+        self.seq += 1
+        line = json.dumps({"seq": self.seq, "meta": self.meta,
+                           "segments": list(segments)},
+                          separators=(",", ":")) + "\n"
+        with open(self.path, "ab") as stream:
+            stream.write(line.encode("utf-8"))
+            stream.flush()
+            os.fsync(stream.fileno())
+        self.segments = segments
+
+    def rewrite(self) -> None:
+        """Compact the log itself to a single line (atomic via rename)."""
+        tmp = self.path.with_name(MANIFEST_NAME + ".tmp")
+        line = json.dumps({"seq": self.seq, "meta": self.meta,
+                           "segments": list(self.segments)},
+                          separators=(",", ":")) + "\n"
+        with open(tmp, "wb") as stream:
+            stream.write(line.encode("utf-8"))
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Manifest({str(self.directory)!r}, seq={self.seq}, "
+                f"segments={len(self.segments)})")

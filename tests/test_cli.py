@@ -311,3 +311,53 @@ class TestClusterCommands:
         assert code == 0
         assert sum(result["primary_shards_per_node"].values()) == 64
         assert 0 < result["moved_fraction"] < 1
+
+
+class TestStorageCommands:
+    @pytest.fixture()
+    def tiered_dir(self, tmp_path):
+        from repro.storage import TieredStore
+        rng = np.random.default_rng(0)
+        home = tmp_path / "tiers"
+        with TieredStore(home, k=7, dimensions=("cell",),
+                         hot_budget_bytes=1500) as store:
+            for _ in range(8):
+                store.ingest_columns(
+                    [rng.integers(0, 400, 200).astype(str)],
+                    rng.lognormal(0, 1, 200) + 0.01)
+            assert len(store.stats()["segments"]) >= 3
+        return home
+
+    def test_inspect_reports_geometry(self, tiered_dir, capsys):
+        segment = sorted(tiered_dir.glob("seg-*.rsg"))[0]
+        code, result = run_cli(capsys, "storage", "inspect", str(segment))
+        assert code == 0
+        assert result["kind"] == "warm" and result["k"] == 7
+        assert result["rows"] >= 1 and result["size_bytes"] > 0
+        assert result["min_key"] <= result["max_key"]
+        assert "keys" not in result
+        code, with_keys = run_cli(capsys, "storage", "inspect",
+                                  str(segment), "--keys")
+        assert code == 0 and len(with_keys["keys"]) == result["rows"]
+
+    def test_inspect_detects_corruption(self, tiered_dir, capsys):
+        segment = sorted(tiered_dir.glob("seg-*.rsg"))[0]
+        blob = bytearray(segment.read_bytes())
+        blob[50] ^= 0xFF
+        segment.write_bytes(bytes(blob))
+        code, result = run_cli(capsys, "storage", "inspect", str(segment))
+        assert code == 1 and "checksum" in result["error"]
+
+    def test_compact_reduces_segments(self, tiered_dir, capsys):
+        code, result = run_cli(capsys, "storage", "compact",
+                               str(tiered_dir))
+        assert code == 0
+        assert result["segments_after"] < result["segments_before"]
+        assert result["rows_after"] <= result["rows_before"]
+        assert result["disk_bytes_after"] < result["disk_bytes_before"]
+
+    def test_compact_demote_cold(self, tiered_dir, capsys):
+        code, result = run_cli(capsys, "storage", "compact",
+                               str(tiered_dir), "--demote-cold")
+        assert code == 0
+        assert all(seg["kind"] == "cold" for seg in result["segments"])

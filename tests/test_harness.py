@@ -302,3 +302,70 @@ class TestHarnessCli:
         assert proc.returncode != 0
         # The CLI surfaces errors as a structured JSON document.
         assert "violation" in json.loads(proc.stdout)["error"]
+
+
+class TestStorageKnob:
+    """The tiered backend inside the harness: knob validation, lossless
+    agreement, cold-tier grading, and the record's storage section."""
+
+    def test_storage_knob_round_trip(self):
+        spec = ExperimentSpec(
+            backends=("packed", "tiered"),
+            storage={"hot_budget_bytes": 2048, "cold_fraction": 0.5})
+        assert spec.storage_dict() == {"hot_budget_bytes": 2048,
+                                       "cold_fraction": 0.5}
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_storage_knob_validation(self):
+        with pytest.raises(HarnessError, match="unknown storage keys"):
+            ExperimentSpec(backends=("tiered",), storage={"bogus": 1})
+        with pytest.raises(HarnessError, match="cold_fraction"):
+            ExperimentSpec(backends=("tiered",),
+                           storage={"cold_fraction": 1.5})
+        with pytest.raises(HarnessError, match="hot_budget_bytes"):
+            ExperimentSpec(backends=("tiered",),
+                           storage={"hot_budget_bytes": 0})
+        with pytest.raises(HarnessError, match="tiered"):
+            ExperimentSpec(backends=("cube",),
+                           storage={"hot_budget_bytes": 2048})
+
+    @pytest.fixture(scope="class")
+    def tiered_record(self):
+        spec = ExperimentSpec(
+            name="tiered-unit", dataset="milan", rows=12_000, cells=16,
+            backends=("packed", "tiered"), duration_seconds=1.0,
+            target_qps=20.0, ingest_fraction=0.25, ingest_batch_rows=250,
+            seed=3, storage={"hot_budget_bytes": 1024})
+        return run_experiment(spec, fail_on_violation=True)
+
+    def test_lossless_tiered_agrees_bit_exactly(self, tiered_record):
+        agreement = tiered_record["agreement"]["tiered"]
+        assert agreement["queries"] > 0
+        assert agreement["exact_matches"] == agreement["queries"]
+
+    def test_record_gains_storage_section(self, tiered_record):
+        storage = tiered_record["storage"]
+        assert storage["seals"] >= 1 and storage["segments"] >= 1
+        assert storage["disk_bytes"] > 0 and storage["ram_bytes"] > 0
+        assert storage["hot_budget_bytes"] == 1024
+        assert storage["knobs"] == {"hot_budget_bytes": 1024}
+
+    def test_cold_fraction_leaves_agreement_but_passes_epsilon(self):
+        spec = ExperimentSpec(
+            name="tiered-cold-unit", dataset="milan", rows=12_000,
+            cells=16, backends=("packed", "tiered"), duration_seconds=1.0,
+            target_qps=20.0, ingest_fraction=0.25, ingest_batch_rows=250,
+            seed=3, storage={"hot_budget_bytes": 1024,
+                             "cold_fraction": 1.0})
+        record = run_experiment(spec, fail_on_violation=True)
+        assert "tiered" not in record["agreement"]
+        assert record["storage"]["cold_bytes"] > 0
+        assert record["accuracy"]["tiered"]["violations"] == 0
+
+    def test_cold_reference_backend_rejected(self):
+        spec = ExperimentSpec(
+            backends=("tiered", "packed"), rows=2000, cells=8,
+            duration_seconds=0.5, target_qps=10.0,
+            storage={"cold_fraction": 0.5})
+        with pytest.raises(HarnessError, match="reference"):
+            run_experiment(spec)

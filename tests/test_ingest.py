@@ -74,7 +74,7 @@ class TestIngestSpec:
 
     def test_backend_names_cover_adapters(self):
         assert set(BACKENDS) == {"cube", "druid", "packed", "window",
-                                 "cluster", "fanout"}
+                                 "cluster", "fanout", "tiered"}
 
 
 # ----------------------------------------------------------------------
