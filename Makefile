@@ -8,14 +8,16 @@
 # below 3x at 1024 cells (or with decisions that diverge from the
 # scalar path), a tiered store whose compaction is not bit-exact /
 # whose cold tier misses the 4x disk reduction or the cold-latency
-# ceiling, and a workload-harness smoke (cube + cluster, sqlite exact
-# oracle) that fails on any Eq. 1 rank-error contract violation.
+# ceiling, a telemetry overhead gate (disabled-mode guard cost <= 3%,
+# enabled-mode tracing + metrics <= 10% of query latency), and a
+# workload-harness smoke (cube + cluster, sqlite exact oracle) that
+# fails on any Eq. 1 rank-error contract violation.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench-solve \
-	bench-tiered bench-harness bench
+	bench-tiered bench-telemetry bench-harness bench
 
 test:
 	$(PYTHON) -m compileall -q src
@@ -26,6 +28,7 @@ test:
 	$(PYTHON) benchmarks/bench_ingest.py --quick
 	$(PYTHON) benchmarks/bench_group_solve.py --quick
 	$(PYTHON) benchmarks/bench_tiered.py --quick
+	$(PYTHON) benchmarks/bench_telemetry.py --quick
 	$(PYTHON) -m repro.cli harness run --spec examples/harness_smoke.json \
 		--out BENCH_harness.json --check
 
@@ -46,6 +49,9 @@ bench-solve:
 
 bench-tiered:
 	$(PYTHON) benchmarks/bench_tiered.py
+
+bench-telemetry:
+	$(PYTHON) benchmarks/bench_telemetry.py
 
 # Full workload-harness experiment (longer than the smoke in `test`):
 # the paced 10-second mixed cube-vs-cluster run from the examples.

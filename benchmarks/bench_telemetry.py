@@ -1,0 +1,159 @@
+"""Telemetry-plane overhead gates (repro.telemetry).
+
+The telemetry plane must be near-free when disabled and cheap when
+enabled.  This benchmark enforces both on the bench_execute_batch
+workload (distinct per-tenant multi-quantile specs, so every query pays
+a real merge + solve rather than a shared-scan cache hit):
+
+* **disabled gate (≤3%)** — with telemetry off, every instrumentation
+  site reduces to one ``TELEMETRY.enabled`` attribute read.  The gate
+  measures that guard's cost directly and scales it by a deliberately
+  pessimistic sites-per-query count, then compares against the measured
+  per-query latency.  (A/B against un-instrumented code is impossible —
+  the guards are compiled in — so this bounds the only cost they add.)
+* **enabled gate (≤10%)** — alternating disabled/enabled batches,
+  min-of-N per arm to shed scheduler noise; the enabled arm pays span
+  creation, phase accounting, histogram observes, and slow-query
+  consideration on every query.
+
+Usage::
+
+    python benchmarks/bench_telemetry.py           # full size
+    python benchmarks/bench_telemetry.py --quick   # CI smoke
+
+Exits non-zero when either gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from any working directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.api import QueryService, QuerySpec  # noqa: E402
+from repro.datacube import CubeSchema, DataCube  # noqa: E402
+from repro.summaries.moments_summary import MomentsSummary  # noqa: E402
+
+DISABLED_GATE = 0.03
+ENABLED_GATE = 0.10
+QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+#: Pessimistic upper bound on ``TELEMETRY.enabled`` checks one query can
+#: hit across service, broker, node, storage, and ingest layers.  The
+#: cube path used here actually hits ~2; a cluster query with 32 shards
+#: stays well under this.
+GUARD_SITES_PER_QUERY = 64
+
+
+def build_service(tenants: int, cells_per_tenant: int,
+                  rows_per_cell: int, k: int = 10,
+                  seed: int = 0) -> QueryService:
+    rng = np.random.default_rng(seed)
+    n = tenants * cells_per_tenant * rows_per_cell
+    values = rng.lognormal(1.0, 1.0, n)
+    tenant = np.repeat(np.arange(tenants), cells_per_tenant * rows_per_cell)
+    shard = np.tile(np.repeat(np.arange(cells_per_tenant), rows_per_cell),
+                    tenants)
+    cube = DataCube(CubeSchema(("tenant", "shard")),
+                    lambda: MomentsSummary(k=k))
+    cube.ingest([tenant, shard], values)
+    return QueryService(cube=cube)
+
+
+def run_batch(service: QueryService, specs: list[QuerySpec]) -> float:
+    start = time.perf_counter()
+    service.execute_batch(specs)
+    return time.perf_counter() - start
+
+
+def measure_guard_seconds(iters: int = 500_000) -> float:
+    """Cost of one disabled-site guard: a TELEMETRY.enabled read."""
+    runtime = telemetry.TELEMETRY
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(iters):
+        if runtime.enabled:
+            sink += 1
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(iters):
+        if False:
+            sink += 1
+    empty = time.perf_counter() - start
+    assert sink == 0
+    return max(guarded - empty, 0.0) / iters
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smaller cube, fewer rounds")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="A/B rounds per arm (default 5; quick 3)")
+    args = parser.parse_args(argv)
+
+    tenants = 8 if args.quick else 16
+    cells_per_tenant = 400 if args.quick else 2_000
+    rounds = args.rounds or (3 if args.quick else 5)
+
+    service = build_service(tenants, cells_per_tenant, rows_per_cell=20)
+    # Distinct filters per spec: every query pays its own merge + solve.
+    specs = [QuerySpec(kind="quantile", quantiles=QUANTILES,
+                       filters={"tenant": t, "shard": s})
+             for t in range(tenants) for s in range(0, cells_per_tenant,
+                                                    cells_per_tenant // 25)]
+    print(f"workload: {tenants} tenants x {cells_per_tenant} cells, "
+          f"{len(specs)} distinct-filter specs, {rounds} rounds/arm")
+
+    telemetry.disable()
+    run_batch(service, specs)  # warm caches before either arm is timed
+
+    off_times, on_times = [], []
+    for _ in range(rounds):
+        telemetry.disable()
+        off_times.append(run_batch(service, specs))
+        telemetry.enable(reset=True)
+        on_times.append(run_batch(service, specs))
+    telemetry.disable()
+    telemetry.reset()
+
+    off_best, on_best = min(off_times), min(on_times)
+    per_query = off_best / len(specs)
+    enabled_overhead = (on_best - off_best) / off_best
+
+    guard = measure_guard_seconds()
+    disabled_overhead = (guard * GUARD_SITES_PER_QUERY) / per_query
+
+    print(f"{'arm':>10} {'best_s':>10} {'per_query_us':>13}")
+    print(f"{'disabled':>10} {off_best:>10.4f} {per_query * 1e6:>13.2f}")
+    print(f"{'enabled':>10} {on_best:>10.4f} "
+          f"{on_best / len(specs) * 1e6:>13.2f}")
+    print(f"guard cost: {guard * 1e9:.1f}ns/site "
+          f"x {GUARD_SITES_PER_QUERY} sites/query")
+    print(f"disabled overhead: {disabled_overhead * 100:.3f}% "
+          f"(gate {DISABLED_GATE * 100:.0f}%)")
+    print(f"enabled overhead:  {enabled_overhead * 100:+.2f}% "
+          f"(gate {ENABLED_GATE * 100:.0f}%)")
+
+    ok = True
+    if disabled_overhead > DISABLED_GATE:
+        print("FAIL: disabled-mode guard cost exceeds the gate")
+        ok = False
+    if enabled_overhead > ENABLED_GATE:
+        print("FAIL: enabled-mode overhead exceeds the gate")
+        ok = False
+    if not ok:
+        return 1
+    print("OK: telemetry overhead within gates")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

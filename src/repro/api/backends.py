@@ -151,15 +151,16 @@ class CubeBackend(Backend):
         if spec.interval is not None:
             raise QueryError("the cube backend has no time axis; "
                              "drop the interval or use the druid backend")
-        start = time.perf_counter()
+        profile: dict = {}
         groups = self.cube._group_summaries(spec.group_dimension,
-                                            spec.filters_dict())
-        elapsed = time.perf_counter() - start
+                                            spec.filters_dict(),
+                                            profile=profile)
         route = "packed" if self.cube.backend == "packed" else "loop"
         return GroupRollupResult(
             groups=groups, cells_scanned=self.cube.num_cells,
             merge_calls=len(groups) if route == "packed" else 0,
-            planner_seconds=0.0, merge_seconds=elapsed, route=route)
+            planner_seconds=profile["locate_seconds"],
+            merge_seconds=profile["merge_seconds"], route=route)
 
 
 # ----------------------------------------------------------------------
@@ -257,17 +258,18 @@ class DruidBackend(Backend):
                 "the druid backend does not support intervals on grouped "
                 "queries; drop the interval")
         aggregator = self._aggregator(spec)
-        start = time.perf_counter()
+        profile: dict = {}
         states = self.engine.group_states(aggregator, spec.group_dimension,
-                                          spec.filters_dict())
-        elapsed = time.perf_counter() - start
+                                          spec.filters_dict(),
+                                          profile=profile)
         route = "packed" if aggregator in self.engine._packed_names else "loop"
         return GroupRollupResult(
             groups={value: _state_summary(state)
                     for value, state in states.items()},
             cells_scanned=self.engine.num_cells,
             merge_calls=len(states) if route == "packed" else 0,
-            planner_seconds=0.0, merge_seconds=elapsed, route=route)
+            planner_seconds=profile["locate_seconds"],
+            merge_seconds=profile["merge_seconds"], route=route)
 
 
 # ----------------------------------------------------------------------

@@ -27,6 +27,7 @@ from ..core.sketch import ColumnarMoments, MomentsSketch
 from ..core.solver import SolverConfig
 from ..druid.engine import _quantile_bracket
 from ..summaries.moments_summary import MomentsSummary
+from ..telemetry import TELEMETRY
 from .backends import (Backend, GroupRollupResult, RollupResult, as_backend,
                        sketch_of)
 from .planner import QueryPlan, plan
@@ -147,40 +148,105 @@ class QueryService:
         merge_calls = 0
         shared_hits = 0
         for spec in specs:
-            name, backend = self._resolve(spec)
-            start = time.perf_counter()
-            the_plan = plan(spec, backend, backend_name=name)
-            plan_seconds = time.perf_counter() - start
-            if the_plan.mode == "windowed":
-                responses.append(self._run_windowed(spec, the_plan, backend,
-                                                    plan_seconds))
-                continue
-            cache = group_rollups if the_plan.mode == "group" else rollups
-            shared = the_plan.scan_key in cache
-            if shared:
-                shared_hits += 1
-                result = cache[the_plan.scan_key]
-            else:
-                result = (backend.group_rollup(spec)
-                          if the_plan.mode == "group"
-                          else backend.rollup(spec))
-                cache[the_plan.scan_key] = result
-                merge_calls += result.merge_calls
-            timings_base = QueryTimings(
-                planner_seconds=plan_seconds + result.planner_seconds,
-                merge_seconds=result.merge_seconds)
-            if the_plan.mode == "group":
-                responses.append(self._finish_group(spec, the_plan, result,
-                                                    timings_base, shared))
-            else:
-                self.last_rollup = result
-                responses.append(self._finish_rollup(spec, the_plan, result,
-                                                     timings_base, shared))
+            run = (self._execute_traced if TELEMETRY.enabled
+                   else self._execute_spec)
+            response, shared, merges = run(spec, rollups, group_rollups)
+            shared_hits += shared
+            merge_calls += merges
+            responses.append(response)
         self.last_batch_report = BatchReport(
             specs=len(specs),
             distinct_scans=len(rollups) + len(group_rollups),
             shared_hits=shared_hits, merge_calls=merge_calls)
         return responses
+
+    def _execute_spec(self, spec: QuerySpec,
+                      rollups: dict, group_rollups: dict
+                      ) -> tuple[QueryResponse, bool, int]:
+        """Run one spec against the batch's scan caches.
+
+        Returns ``(response, shared_scan, new_merge_calls)``.
+        """
+        name, backend = self._resolve(spec)
+        start = time.perf_counter()
+        the_plan = plan(spec, backend, backend_name=name)
+        plan_seconds = time.perf_counter() - start
+        if the_plan.mode == "windowed":
+            return (self._run_windowed(spec, the_plan, backend, plan_seconds),
+                    False, 0)
+        cache = group_rollups if the_plan.mode == "group" else rollups
+        shared = the_plan.scan_key in cache
+        merges = 0
+        if shared:
+            result = cache[the_plan.scan_key]
+        else:
+            result = (backend.group_rollup(spec)
+                      if the_plan.mode == "group"
+                      else backend.rollup(spec))
+            cache[the_plan.scan_key] = result
+            merges = result.merge_calls
+        timings_base = QueryTimings(
+            planner_seconds=plan_seconds + result.planner_seconds,
+            merge_seconds=result.merge_seconds)
+        if the_plan.mode == "group":
+            return (self._finish_group(spec, the_plan, result, timings_base,
+                                       shared), shared, merges)
+        self.last_rollup = result
+        return (self._finish_rollup(spec, the_plan, result, timings_base,
+                                    shared), shared, merges)
+
+    def _execute_traced(self, spec: QuerySpec,
+                        rollups: dict, group_rollups: dict
+                        ) -> tuple[QueryResponse, bool, int]:
+        """Telemetry wrapper around :meth:`_execute_spec`.
+
+        Emits a root ``query`` span (active while backends run, so
+        cluster/storage child spans attach to it), phase spans whose
+        durations are copied verbatim from the response's
+        :class:`QueryTimings` (the two accountings agree exactly), a
+        latency histogram per (backend, kind, route), and scan-signature
+        sharing counters for the future multi-query optimizer.
+        """
+        tracer = TELEMETRY.tracer
+        registry = TELEMETRY.registry
+        kind = spec.kind
+        try:
+            with tracer.span("query", kind=kind) as root:
+                response, shared, merges = self._execute_spec(
+                    spec, rollups, group_rollups)
+                root.set_attribute("backend", response.backend)
+                root.set_attribute("route", response.route)
+                root.set_attribute("shared_scan", shared)
+        except Exception:
+            registry.counter("query_errors_total",
+                             backend=spec.backend or self._default or "?",
+                             kind=kind).inc()
+            raise
+        timings = response.timings
+        base = root.start_monotonic
+        tracer.record("query.plan", timings.planner_seconds, parent=root,
+                      start_monotonic=base)
+        tracer.record("query.merge", timings.merge_seconds, parent=root,
+                      start_monotonic=base + timings.planner_seconds,
+                      merges=response.merges,
+                      cells_scanned=response.cells_scanned,
+                      shared_scan=shared)
+        tracer.record("query.solve", timings.solve_seconds, parent=root,
+                      start_monotonic=(base + timings.planner_seconds
+                                       + timings.merge_seconds),
+                      solve_route=timings.solve_route,
+                      solve_calls=timings.solve_calls)
+        backend_name = response.backend
+        registry.histogram("query_seconds", backend=backend_name, kind=kind,
+                           route=response.route).observe(root.duration_seconds)
+        registry.counter("queries_total", backend=backend_name,
+                         kind=kind).inc()
+        registry.counter(
+            "scan_signature_hits_total" if shared
+            else "scan_signature_misses_total",
+            backend=backend_name).inc()
+        TELEMETRY.slow_queries.consider(root.payload, tracer)
+        return response, shared, merges
 
     # ------------------------------------------------------------------
     # Roll-up kinds

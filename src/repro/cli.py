@@ -270,6 +270,11 @@ def cmd_harness_run(args: argparse.Namespace) -> dict:
     ``--no-out`` is given.  With ``--check`` (the default), any exact-
     oracle ε-contract violation fails the command after the record is
     written — the CI smoke gate.
+
+    ``--telemetry`` enables the in-process telemetry plane for the run
+    (the record gains a ``telemetry`` block); ``--telemetry-out DIR``
+    additionally dumps ``metrics.json``, ``metrics.prom``,
+    ``spans.jsonl``, and ``slow_queries.json`` into ``DIR``.
     """
     from .harness import DEFAULT_TRAJECTORY, ExperimentSpec, run_experiment
 
@@ -287,11 +292,119 @@ def cmd_harness_run(args: argparse.Namespace) -> dict:
     if overrides:
         spec = ExperimentSpec.from_dict({**spec.to_dict(), **overrides})
     out = None if args.no_out else (args.out or DEFAULT_TRAJECTORY)
-    record = run_experiment(spec, trajectory_path=out,
-                            fail_on_violation=args.check)
+    telemetry_on = args.telemetry or args.telemetry_out is not None
+    if telemetry_on:
+        from .telemetry import TELEMETRY
+
+        TELEMETRY.enable(
+            slow_query_threshold_seconds=args.slow_query_threshold,
+            reset=True)
+    try:
+        record = run_experiment(spec, trajectory_path=out,
+                                fail_on_violation=args.check)
+    finally:
+        if telemetry_on and args.telemetry_out is not None:
+            record_telemetry = _write_telemetry_artifacts(args.telemetry_out)
+        if telemetry_on:
+            TELEMETRY.disable()
     if out:
         record = dict(record, trajectory=str(out))
+    if telemetry_on and args.telemetry_out is not None:
+        record = dict(record, telemetry_out=record_telemetry)
     return record
+
+
+def _write_telemetry_artifacts(directory) -> dict:
+    """Dump the live telemetry plane into ``directory``; returns paths."""
+    from .telemetry import TELEMETRY, render_json, render_prometheus
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    metrics_json = directory / "metrics.json"
+    metrics_json.write_text(render_json(TELEMETRY.registry) + "\n",
+                            encoding="utf-8")
+    metrics_prom = directory / "metrics.prom"
+    metrics_prom.write_text(render_prometheus(TELEMETRY.registry),
+                            encoding="utf-8")
+    spans_path = directory / "spans.jsonl"
+    spans_exported = TELEMETRY.tracer.export_jsonl(str(spans_path))
+    slow_entries = TELEMETRY.slow_queries.entries()
+    slow_path = directory / "slow_queries.json"
+    slow_path.write_text(
+        json.dumps(slow_entries, indent=2, default=float) + "\n",
+        encoding="utf-8")
+    return {"directory": str(directory),
+            "files": [metrics_json.name, metrics_prom.name,
+                      spans_path.name, slow_path.name],
+            "spans_exported": spans_exported,
+            "slow_queries": len(slow_entries)}
+
+
+def cmd_telemetry_dump(args: argparse.Namespace) -> dict:
+    """Re-render a metrics dump (or harness record) as JSON/Prometheus."""
+    from .telemetry import load_metrics, render_prometheus
+
+    payload = load_metrics(args.metrics)
+    series = sum(len(payload.get(kind, []))
+                 for kind in ("counters", "gauges", "histograms"))
+    if args.format == "prometheus":
+        # Prometheus exposition is line-oriented text, not a JSON doc —
+        # print it directly and hand main() a tiny summary envelope.
+        print(render_prometheus(payload), end="")
+        return {"format": "prometheus", "series": series}
+    return {"format": "json", "series": series, "metrics": payload}
+
+
+def cmd_telemetry_top(args: argparse.Namespace) -> dict:
+    """Rank histogram series from a metrics dump by a latency quantile."""
+    from .telemetry import LogHistogram, MetricsRegistry, load_metrics
+
+    registry = MetricsRegistry.from_dict(load_metrics(args.metrics))
+    rows = []
+    for name, labels, metric in registry.items():
+        if not isinstance(metric, LogHistogram) or metric.count == 0:
+            continue
+        if args.name and name != args.name:
+            continue
+        p50, p99 = metric.quantiles([0.5, 0.99])
+        rows.append({"name": name, "labels": dict(labels),
+                     "count": metric.count,
+                     "p50": p50, "p99": p99,
+                     "rank_by": metric.quantile(args.quantile)})
+    rows.sort(key=lambda row: row["rank_by"], reverse=True)
+    for row in rows:
+        row[f"p{args.quantile * 100:g}"] = row.pop("rank_by")
+    return {"quantile": args.quantile, "series": rows[:args.limit]}
+
+
+def cmd_telemetry_trace(args: argparse.Namespace) -> dict:
+    """Render one trace tree from a ``spans.jsonl`` export."""
+    from .telemetry import build_trace_tree, render_trace_tree
+
+    spans = []
+    with open(args.spans, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    if not spans:
+        return {"error": "no spans in file", "spans": 0}
+    trace_id = args.trace_id
+    if trace_id is None:
+        # Default to the trace owning the longest root span — the
+        # most interesting one in a slow-query investigation.
+        roots = [s for s in spans if not s.get("parent_id")]
+        pick = max(roots or spans,
+                   key=lambda s: s.get("duration_seconds") or 0.0)
+        trace_id = pick["trace_id"]
+    selected = [s for s in spans if s["trace_id"] == trace_id]
+    if not selected:
+        return {"error": f"trace {trace_id!r} not found",
+                "traces": sorted({s['trace_id'] for s in spans})}
+    roots = build_trace_tree(selected)
+    print("\n".join(render_trace_tree(selected)))
+    return {"trace_id": trace_id, "spans": len(selected),
+            "roots": len(roots)}
 
 
 def cmd_storage_inspect(args: argparse.Namespace) -> dict:
@@ -600,7 +713,52 @@ def build_parser() -> argparse.ArgumentParser:
                              help="override spec target_qps")
     harness_run.add_argument("--seed", type=int, default=None,
                              help="override spec seed")
+    harness_run.add_argument("--telemetry", action="store_true",
+                             help="enable the in-process telemetry plane; "
+                                  "the record gains a 'telemetry' block")
+    harness_run.add_argument("--slow-query-threshold", type=float,
+                             default=None, metavar="SECONDS",
+                             help="capture span trees for queries over this "
+                                  "latency (0 captures every query)")
+    harness_run.add_argument("--telemetry-out", default=None, metavar="DIR",
+                             help="dump metrics.json/metrics.prom/"
+                                  "spans.jsonl/slow_queries.json into DIR "
+                                  "(implies --telemetry)")
     harness_run.set_defaults(handler=cmd_harness_run)
+
+    telemetry = subcommands.add_parser(
+        "telemetry", help="inspect telemetry dumps (repro.telemetry)")
+    telemetry_sub = telemetry.add_subparsers(dest="action", required=True)
+
+    tele_dump = telemetry_sub.add_parser(
+        "dump", help="re-render a metrics dump as JSON or Prometheus text")
+    tele_dump.add_argument("metrics",
+                           help="metrics.json dump, harness telemetry "
+                                "snapshot, or BENCH_harness.json trajectory "
+                                "(latest run with telemetry wins)")
+    tele_dump.add_argument("--format", choices=("json", "prometheus"),
+                           default="json")
+    tele_dump.set_defaults(handler=cmd_telemetry_dump)
+
+    tele_top = telemetry_sub.add_parser(
+        "top", help="rank latency histograms from a metrics dump")
+    tele_top.add_argument("metrics", help="metrics dump (as for 'dump')")
+    tele_top.add_argument("--quantile", type=float, default=0.99,
+                          help="ranking quantile (default p99)")
+    tele_top.add_argument("--name", default=None,
+                          help="only rank series of this histogram name "
+                               "(e.g. query_seconds)")
+    tele_top.add_argument("--limit", type=int, default=10)
+    tele_top.set_defaults(handler=cmd_telemetry_top)
+
+    tele_trace = telemetry_sub.add_parser(
+        "trace", help="render one trace tree from a spans.jsonl export")
+    tele_trace.add_argument("spans", help="spans.jsonl file "
+                                          "(see harness run --telemetry-out)")
+    tele_trace.add_argument("--trace-id", default=None,
+                            help="trace to render (default: the trace of "
+                                 "the longest root span)")
+    tele_trace.set_defaults(handler=cmd_telemetry_trace)
 
     datasets = subcommands.add_parser("datasets",
                                       help="synthetic evaluation datasets")

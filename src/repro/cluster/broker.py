@@ -31,13 +31,15 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Mapping
 
 from ..core.errors import ClusterError
 from ..druid.aggregators import AggregatorState
+from ..telemetry import TELEMETRY
 from .coordinator import ClusterCoordinator
-from .node import ShardPartial
+from .node import ShardPartial, _state_size
 
 #: Default broker fan-out threads (one per simulated connection).
 DEFAULT_THREADS = 4
@@ -93,6 +95,8 @@ class ClusterBroker:
         else:
             shards = list(range(coordinator.num_shards))
         assignments: dict[str, list[int]] = {}
+        telemetry_on = TELEMETRY.enabled
+        dead_routes: dict[str, int] = {}
         for shard in shards:
             owners = coordinator.live_owners(shard)
             if not owners:
@@ -100,6 +104,19 @@ class ClusterBroker:
                     f"shard {shard} is unavailable: no live replica")
             node_id = owners[shard % len(owners)]
             assignments.setdefault(node_id, []).append(shard)
+            if telemetry_on:
+                for owner in coordinator.ring.owners(shard):
+                    if owner not in owners:
+                        dead_routes[owner] = dead_routes.get(owner, 0) + 1
+        if dead_routes:
+            # Shards routed around a dead replica: record the failover on
+            # the active scatter span and in the registry.
+            span = TELEMETRY.tracer.current_span()
+            for node_id, count in sorted(dead_routes.items()):
+                if span is not None:
+                    span.add_event("failover", node=node_id, shards=count)
+                TELEMETRY.registry.counter("cluster_failover_routes_total",
+                                           node=node_id).inc(count)
         return assignments
 
     def _executor(self) -> ThreadPoolExecutor:
@@ -134,34 +151,42 @@ class ClusterBroker:
         Records the route/scatter/merge phase profile in
         :attr:`last_profile`.
         """
-        start = time.perf_counter()
-        assignments = self.route(filters)
-        route_seconds = time.perf_counter() - start
+        telemetry_on = TELEMETRY.enabled
+        with (TELEMETRY.tracer.span("cluster.scatter", kind="rollup",
+                                    aggregator=aggregator)
+              if telemetry_on else nullcontext()) as scatter_span:
+            start = time.perf_counter()
+            assignments = self.route(filters)
+            route_seconds = time.perf_counter() - start
 
-        start = time.perf_counter()
-        partials = self._scatter(
-            assignments,
-            lambda node, shards: node.shard_partials(
-                aggregator, shards, filters, interval))
-        scatter_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            partials = self._scatter(
+                assignments,
+                lambda node, shards: node.shard_partials(
+                    aggregator, shards, filters, interval))
+            scatter_seconds = time.perf_counter() - start
+            if telemetry_on:
+                self._absorb_telemetry(p.telemetry for p in partials)
 
-        start = time.perf_counter()
-        partials.sort(key=lambda partial: partial.shard)
-        merged: AggregatorState | None = None
-        for partial in partials:
-            if merged is None:
-                merged = partial.state.copy()
-            else:
-                merged.merge(partial.state)
-        merge_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            partials.sort(key=lambda partial: partial.shard)
+            merged: AggregatorState | None = None
+            for partial in partials:
+                if merged is None:
+                    merged = partial.state.copy()
+                else:
+                    merged.merge(partial.state)
+            merge_seconds = time.perf_counter() - start
 
-        self.queries_served += 1
-        self.last_profile = ScatterProfile(
-            route_seconds=route_seconds, scatter_seconds=scatter_seconds,
-            merge_seconds=merge_seconds, nodes_queried=len(assignments),
-            shards_scanned=len(partials),
-            cells_scanned=sum(p.cells_scanned for p in partials),
-            partial_bytes=sum(p.size_bytes() for p in partials))
+            self.queries_served += 1
+            self.last_profile = ScatterProfile(
+                route_seconds=route_seconds, scatter_seconds=scatter_seconds,
+                merge_seconds=merge_seconds, nodes_queried=len(assignments),
+                shards_scanned=len(partials),
+                cells_scanned=sum(p.cells_scanned for p in partials),
+                partial_bytes=sum(p.size_bytes() for p in partials))
+            if telemetry_on:
+                self._emit_scatter_telemetry(scatter_span, "rollup")
         return merged
 
     def scatter_group(self, aggregator: str, dimension: str,
@@ -173,50 +198,116 @@ class ClusterBroker:
         across shards in ascending shard order, mirroring the
         single-process engine's ascending-segment fold.
         """
-        start = time.perf_counter()
-        assignments = self.route(filters)
-        route_seconds = time.perf_counter() - start
+        telemetry_on = TELEMETRY.enabled
+        with (TELEMETRY.tracer.span("cluster.scatter", kind="group",
+                                    aggregator=aggregator,
+                                    dimension=dimension)
+              if telemetry_on else nullcontext()) as scatter_span:
+            start = time.perf_counter()
+            assignments = self.route(filters)
+            route_seconds = time.perf_counter() - start
 
-        start = time.perf_counter()
-        shard_groups = self._scatter(
-            assignments,
-            lambda node, shards: node.group_partials(
-                aggregator, shards, dimension, filters))
-        scatter_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            shard_groups = self._scatter(
+                assignments,
+                lambda node, shards: node.group_partials(
+                    aggregator, shards, dimension, filters))
+            scatter_seconds = time.perf_counter() - start
+            if telemetry_on:
+                self._absorb_telemetry(item[3] for item in shard_groups)
 
-        start = time.perf_counter()
-        shard_groups.sort(key=lambda item: item[0])
-        merged: dict[object, AggregatorState] = {}
-        cells = 0
-        shards_hit = 0
-        for _, groups, shard_cells in shard_groups:
-            shards_hit += 1
-            cells += shard_cells
-            for value, state in groups.items():
-                existing = merged.get(value)
-                if existing is None:
-                    merged[value] = state.copy()
-                else:
-                    existing.merge(state)
-        merge_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            shard_groups.sort(key=lambda item: item[0])
+            merged: dict[object, AggregatorState] = {}
+            cells = 0
+            shards_hit = 0
+            partial_bytes = 0
+            for _, groups, shard_cells, _telemetry in shard_groups:
+                shards_hit += 1
+                cells += shard_cells
+                for value, state in groups.items():
+                    partial_bytes += _state_size(state)
+                    existing = merged.get(value)
+                    if existing is None:
+                        merged[value] = state.copy()
+                    else:
+                        existing.merge(state)
+            merge_seconds = time.perf_counter() - start
 
-        self.queries_served += 1
-        self.last_profile = ScatterProfile(
-            route_seconds=route_seconds, scatter_seconds=scatter_seconds,
-            merge_seconds=merge_seconds, nodes_queried=len(assignments),
-            shards_scanned=shards_hit, cells_scanned=cells,
-            partial_bytes=0)
+            self.queries_served += 1
+            self.last_profile = ScatterProfile(
+                route_seconds=route_seconds, scatter_seconds=scatter_seconds,
+                merge_seconds=merge_seconds, nodes_queried=len(assignments),
+                shards_scanned=shards_hit, cells_scanned=cells,
+                partial_bytes=partial_bytes)
+            if telemetry_on:
+                self._emit_scatter_telemetry(scatter_span, "group")
         return merged
 
     def _scatter(self, assignments: dict[str, list[int]], work) -> list:
-        """Run per-node work on the pool; flatten the gathered results."""
+        """Run per-node work on the pool; flatten the gathered results.
+
+        Thread pools do not inherit contextvars, so the active span (the
+        ``cluster.scatter`` span) is captured here and passed as the
+        *explicit* parent of per-node spans created on worker threads —
+        this is what keeps the trace tree connected across the fan-out.
+        """
         nodes = self.coordinator.nodes
         items = sorted(assignments.items())
+        parent = (TELEMETRY.tracer.current_span()
+                  if TELEMETRY.enabled else None)
+
+        def call(node_id: str, shards: list[int]):
+            if parent is None:
+                return work(nodes[node_id], shards)
+            with TELEMETRY.tracer.span("cluster.node", parent=parent,
+                                       node=node_id, shards=len(shards)):
+                return work(nodes[node_id], shards)
+
         if len(items) <= 1 or self.threads == 1:
-            gathered = [work(nodes[node_id], shards)
-                        for node_id, shards in items]
+            gathered = [call(node_id, shards) for node_id, shards in items]
         else:
             pool = self._executor()
-            gathered = list(pool.map(
-                lambda item: work(nodes[item[0]], item[1]), items))
+            gathered = list(pool.map(lambda item: call(*item), items))
         return [result for results in gathered for result in results]
+
+    def _absorb_telemetry(self, payloads) -> None:
+        """Adopt shipped shard spans and fold node histogram partials."""
+        tracer = TELEMETRY.tracer
+        registry = TELEMETRY.registry
+        for payload in payloads:
+            if not payload:
+                continue
+            span = payload.get("span")
+            if span is not None:
+                tracer.adopt(span)
+            hist = payload.get("hist")
+            if hist is not None:
+                registry.histogram(
+                    "cluster_shard_scan_seconds").merge_partial(hist)
+
+    def _emit_scatter_telemetry(self, scatter_span, kind: str) -> None:
+        """Phase spans + registry metrics for the profile just recorded."""
+        profile = self.last_profile
+        tracer = TELEMETRY.tracer
+        base = scatter_span.start_monotonic
+        tracer.record("cluster.route", profile.route_seconds,
+                      parent=scatter_span, start_monotonic=base,
+                      nodes=profile.nodes_queried)
+        tracer.record("cluster.gather", profile.merge_seconds,
+                      parent=scatter_span,
+                      start_monotonic=(base + profile.route_seconds
+                                       + profile.scatter_seconds),
+                      shards=profile.shards_scanned,
+                      partial_bytes=profile.partial_bytes)
+        scatter_span.set_attribute("nodes", profile.nodes_queried)
+        scatter_span.set_attribute("shards", profile.shards_scanned)
+        scatter_span.set_attribute("cells", profile.cells_scanned)
+        registry = TELEMETRY.registry
+        registry.counter("cluster_scatter_queries_total", kind=kind).inc()
+        registry.counter("cluster_shards_scanned_total",
+                         kind=kind).inc(profile.shards_scanned)
+        registry.counter("cluster_partial_bytes_total",
+                         kind=kind).inc(profile.partial_bytes)
+        registry.histogram("cluster_scatter_seconds",
+                           kind=kind).observe(profile.scatter_seconds)

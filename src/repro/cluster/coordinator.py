@@ -38,6 +38,7 @@ import numpy as np
 from ..core.errors import ClusterError, QueryError
 from ..core.grouping import lexsort_groups
 from ..druid.aggregators import (AggregatorFactory, MomentsSketchAggregator)
+from ..telemetry import TELEMETRY
 from .hashring import DEFAULT_VNODES, HashRing, shard_of
 from .node import SHARD_MANIFEST, DataNode
 
@@ -200,6 +201,9 @@ class ClusterCoordinator:
         if node.alive and len(self.live_nodes) <= 1:
             raise ClusterError("cannot fail the last live node")
         node.fail()
+        if TELEMETRY.enabled:
+            TELEMETRY.registry.counter("cluster_node_failures_total",
+                                       node=node_id).inc()
         if not repair:
             return None
         if node_id in self.ring:
@@ -221,6 +225,9 @@ class ClusterCoordinator:
         """
         node = self._node(node_id)
         node.restore()
+        if TELEMETRY.enabled:
+            TELEMETRY.registry.counter("cluster_node_restores_total",
+                                       node=node_id).inc()
         for shard in list(node.shards):
             source = self._live_holder(shard, exclude=node_id)
             if source is not None:
@@ -319,8 +326,15 @@ class ClusterCoordinator:
                         and shard in node.shards:
                     node.drop_shard(shard)
                     dropped += 1
-        return RebalanceReport(copied_shards=copied, dropped_shards=dropped,
-                               bytes_copied=bytes_copied)
+        report = RebalanceReport(copied_shards=copied, dropped_shards=dropped,
+                                 bytes_copied=bytes_copied)
+        if TELEMETRY.enabled:
+            registry = TELEMETRY.registry
+            registry.counter("cluster_rebalances_total").inc()
+            registry.counter("cluster_shards_copied_total").inc(copied)
+            registry.counter("cluster_shards_dropped_total").inc(dropped)
+            registry.counter("cluster_rebalance_bytes_total").inc(bytes_copied)
+        return report
 
     # ------------------------------------------------------------------
     # Ingestion

@@ -34,25 +34,40 @@ from ..core.grouping import check_columns
 from ..druid.aggregators import AggregatorFactory, AggregatorState
 from ..druid.engine import DruidEngine, Segment
 from ..store import PackedSketchStore
+from ..telemetry import TELEMETRY, LogHistogram
 
 #: Per-shard segment-file manifest name (see :meth:`DataNode.export_shard_files`).
 SHARD_MANIFEST = "SHARD.json"
 
 
+def _state_size(state: AggregatorState) -> int:
+    """Approximate wire size of one partial state (the ~200-byte payload)."""
+    summary = getattr(state, "summary", None)
+    if summary is not None and hasattr(summary, "size_bytes"):
+        return int(summary.size_bytes())
+    return 8
+
+
 @dataclass
 class ShardPartial:
-    """One shard's merged partial state for a scatter-gather query."""
+    """One shard's merged partial state for a scatter-gather query.
+
+    ``telemetry`` (present only when the telemetry plane is enabled)
+    carries the shard's detached span payload — and, on one partial per
+    reply, a binary :class:`~repro.telemetry.LogHistogram` partial of
+    per-shard scan latencies — so the broker can adopt the spans into
+    its trace and fold the histogram into the process registry, exactly
+    like it folds the sketch partials themselves.
+    """
 
     shard: int
     state: AggregatorState
     cells_scanned: int
+    telemetry: dict | None = None
 
     def size_bytes(self) -> int:
         """Approximate wire size of the partial (the ~200-byte payload)."""
-        summary = getattr(self.state, "summary", None)
-        if summary is not None and hasattr(summary, "size_bytes"):
-            return int(summary.size_bytes())
-        return 8
+        return _state_size(self.state)
 
 
 @dataclass
@@ -378,11 +393,21 @@ class DataNode:
         not depend on which replica computed it.
         """
         self._check_alive()
+        # Telemetry rides along only when a broker span is active on this
+        # worker thread: each produced partial carries a detached span,
+        # and one partial per reply ships the node's latency histogram.
+        parent = (TELEMETRY.tracer.current_span()
+                  if TELEMETRY.enabled else None)
+        hist = LogHistogram() if parent is not None else None
         partials: list[ShardPartial] = []
         for shard in shards:
             engine = self.shards.get(shard)
             if engine is None:
                 continue
+            span = (TELEMETRY.tracer.span(
+                        "cluster.shard", parent=parent, detached=True,
+                        node=self.node_id, shard=shard, aggregator=aggregator)
+                    if parent is not None else None)
             if aggregator in engine._packed_names:
                 refs = engine._matching_packed_rows(aggregator, filters,
                                                     interval)
@@ -400,24 +425,50 @@ class DataNode:
                     continue
                 scanned = len(states)
                 state = engine._merge_states(states)
+            telemetry = None
+            if span is not None:
+                span.set_attribute("cells_scanned", scanned)
+                payload = span.end()
+                hist.observe(payload["duration_seconds"])
+                telemetry = {"span": payload}
             partials.append(ShardPartial(shard=shard, state=state,
-                                         cells_scanned=scanned))
+                                         cells_scanned=scanned,
+                                         telemetry=telemetry))
+        if hist is not None and partials:
+            partials[0].telemetry["hist"] = hist.to_partial()
         return partials
 
     def group_partials(self, aggregator: str, shards: Sequence[int],
                        dimension: str,
                        filters: Mapping[str, object] | None = None
-                       ) -> list[tuple[int, dict, int]]:
-        """Per-shard grouped partials: (shard, {value: state}, cells)."""
+                       ) -> list[tuple[int, dict, int, dict | None]]:
+        """Per-shard grouped partials: (shard, {value: state}, cells,
+        telemetry) — telemetry as in :meth:`shard_partials`."""
         self._check_alive()
-        out: list[tuple[int, dict, int]] = []
+        parent = (TELEMETRY.tracer.current_span()
+                  if TELEMETRY.enabled else None)
+        hist = LogHistogram() if parent is not None else None
+        out: list[tuple[int, dict, int, dict | None]] = []
         for shard in shards:
             engine = self.shards.get(shard)
             if engine is None:
                 continue
+            span = (TELEMETRY.tracer.span(
+                        "cluster.shard", parent=parent, detached=True,
+                        node=self.node_id, shard=shard, aggregator=aggregator,
+                        dimension=dimension)
+                    if parent is not None else None)
             groups = engine.group_states(aggregator, dimension, filters)
             if groups:
-                out.append((shard, groups, engine.num_cells))
+                telemetry = None
+                if span is not None:
+                    span.set_attribute("groups", len(groups))
+                    payload = span.end()
+                    hist.observe(payload["duration_seconds"])
+                    telemetry = {"span": payload}
+                out.append((shard, groups, engine.num_cells, telemetry))
+        if hist is not None and out:
+            out[0][3]["hist"] = hist.to_partial()
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -360,23 +360,37 @@ class DataCube:
         return dict(response.groups or {})
 
     def _group_summaries(self, dimension: str,
-                         filters: Mapping[str, object] | None = None
+                         filters: Mapping[str, object] | None = None,
+                         profile: dict | None = None
                          ) -> dict[object, QuantileSummary]:
         """Backend primitive behind :meth:`group_by`: one merged summary
         per distinct value of ``dimension`` (the packed backend performs
-        one vectorized reduction per group)."""
+        one vectorized reduction per group).
+
+        ``profile``, when given, receives ``locate_seconds`` (row/group
+        selection — planner work) and ``merge_seconds`` (the group-wise
+        reduction) so callers can split phase accounting.
+        """
         position = self.schema.index_of(dimension)
         if self._packed:
+            start = time.perf_counter()
             rows: list[int] = []
             group_keys: list[object] = []
             for key, row in self._iter_matching_items(filters):
                 rows.append(row)
                 group_keys.append(key[position])
+            locate_seconds = time.perf_counter() - start
             if not rows:
                 raise QueryError(f"no cells match filter {dict(filters or {})}")
-            return {value: self._wrap(sketch)
-                    for value, sketch
-                    in self._store.batch_merge_by(rows, group_keys).items()}
+            start = time.perf_counter()
+            merged = self._store.batch_merge_by(rows, group_keys)
+            out = {value: self._wrap(sketch)
+                   for value, sketch in merged.items()}
+            if profile is not None:
+                profile["locate_seconds"] = locate_seconds
+                profile["merge_seconds"] = time.perf_counter() - start
+            return out
+        start = time.perf_counter()
         groups: dict[object, QuantileSummary] = {}
         for key, summary in self.matching_cells(filters):
             value = key[position]
@@ -387,6 +401,11 @@ class DataCube:
                 existing.merge(summary)
         if not groups:
             raise QueryError(f"no cells match filter {dict(filters or {})}")
+        if profile is not None:
+            # The object-summary loop fuses selection and merging; report
+            # it all as merge work.
+            profile["locate_seconds"] = 0.0
+            profile["merge_seconds"] = time.perf_counter() - start
         return groups
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ from the object layout at the last-ulp level.  Pass
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -323,13 +324,18 @@ class DruidEngine:
         return fold(partials)
 
     def group_states(self, aggregator: str, dimension: str,
-                     filters: Mapping[str, object] | None = None
+                     filters: Mapping[str, object] | None = None,
+                     profile: dict | None = None
                      ) -> dict[object, AggregatorState]:
         """Merged aggregator state per distinct value of ``dimension``.
 
         The shared machinery behind groupBy and topN.  Packed moments
         aggregators merge each segment's rows group-wise with vectorized
         reductions and fold the per-segment partial sketches.
+
+        ``profile``, when given, receives ``locate_seconds`` (row/group
+        selection — planner work) and ``merge_seconds`` (the group-wise
+        reductions) so callers can split phase accounting.
         """
         self._check_aggregator(aggregator)
         if dimension not in self.dimensions:
@@ -337,11 +343,13 @@ class DruidEngine:
         position = self.dimensions.index(dimension)
         positions = self._filter_positions(filters)
         if aggregator in self._packed_names:
+            locate_seconds = merge_seconds = 0.0
             sketches: dict[object, MomentsSketch] = {}
             for segment in self.segments.values():
                 store = segment.packed.get(aggregator)
                 if store is None:
                     continue
+                start = time.perf_counter()
                 rows: list[int] = []
                 group_keys: list[object] = []
                 for key, row in segment.packed_rows[aggregator].items():
@@ -350,8 +358,10 @@ class DruidEngine:
                         continue
                     rows.append(row)
                     group_keys.append(key[position])
+                locate_seconds += time.perf_counter() - start
                 if not rows:
                     continue
+                start = time.perf_counter()
                 for value, sketch in store.batch_merge_by(
                         rows, group_keys).items():
                     existing = sketches.get(value)
@@ -359,8 +369,13 @@ class DruidEngine:
                         sketches[value] = sketch
                     else:
                         existing.merge(sketch)
+                merge_seconds += time.perf_counter() - start
+            if profile is not None:
+                profile["locate_seconds"] = locate_seconds
+                profile["merge_seconds"] = merge_seconds
             return {value: self._wrap_packed(aggregator, sketch)
                     for value, sketch in sketches.items()}
+        start = time.perf_counter()
         groups: dict[object, AggregatorState] = {}
         for segment in self.segments.values():
             for key, cell in segment.cells.items():
@@ -372,6 +387,11 @@ class DruidEngine:
                     groups[value].merge(cell[aggregator])
                 else:
                     groups[value] = cell[aggregator].copy()
+        if profile is not None:
+            # The object-state loop fuses selection and merging; report
+            # it all as merge work.
+            profile["locate_seconds"] = 0.0
+            profile["merge_seconds"] = time.perf_counter() - start
         return groups
 
     def group_by(self, aggregator: str, dimension: str,

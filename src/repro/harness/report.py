@@ -67,6 +67,16 @@ can see performance and accuracy *over time* instead of flying blind.
             "disk_bytes": int,       # on-disk segment footprint
             "ram_bytes": int,        # gathered packed-store footprint
             "disk_over_ram": float   # the tiered-vs-RAM byte delta
+          },
+          "telemetry": {             # additive (still schema /1):
+                                     # present when the in-process
+                                     # telemetry plane was enabled
+                                     # (``repro harness run --telemetry``)
+            "enabled": true,
+            "metrics": {...},        # MetricsRegistry.to_dict(): counters,
+                                     # gauges, mergeable log-histograms
+            "spans_recorded": int, "spans_dropped": int,
+            "slow_queries_captured": int
           }
         }
       ]

@@ -43,6 +43,7 @@ from ..api import QueryService, QuerySpec, qkey
 from ..core.errors import HarnessError
 from ..datasets import load, production_columns
 from ..ingest import IngestSession, IngestSpec, build_target
+from ..telemetry import TELEMETRY
 from .metrics import LatencyAggregator, ResourceSampler
 from .oracle import ExactOracle
 from .report import SCHEMA_VERSION, append_trajectory, utc_now_iso
@@ -361,6 +362,12 @@ def run_experiment(spec: ExperimentSpec, trajectory_path=None,
         for name, tally in tallies.items():
             record["accuracy"][name] = tally.summary()
         oracle.close()
+    if TELEMETRY.enabled:
+        # In-process observability snapshot (additive "telemetry" key,
+        # see report.py): the run's metrics registry plus span/slow-query
+        # totals, so trajectories carry internal phase/queue visibility
+        # alongside the external latency grades.
+        record["telemetry"] = TELEMETRY.snapshot()
 
     if trajectory_path is not None:
         append_trajectory(trajectory_path, record)

@@ -23,6 +23,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..core.errors import BackpressureError, IngestError
+from ..telemetry import TELEMETRY
 from .backends import WriteBackend, as_write_backend
 from .buffer import WriteBuffer, make_batch
 from .spec import IngestReport, IngestSpec
@@ -106,6 +107,10 @@ class IngestSession:
         if not self.auto_flush and self.spec.max_pending_rows is not None:
             incoming = np.shape(values)[0] if np.ndim(values) else 1
             if self.buffer.rows + incoming > self.spec.max_pending_rows:
+                if TELEMETRY.enabled:
+                    TELEMETRY.registry.counter(
+                        "ingest_backpressure_total",
+                        backend=self.backend.name).inc()
                 # Rejected *before* buffering, so the caller can flush
                 # and re-send these rows without double-counting.
                 raise BackpressureError(
@@ -188,12 +193,27 @@ class IngestSession:
             return None
         sequence = self.spec.sequence_for(self._flush_index)
         batch = self.buffer.drain(sequence=sequence)
+        # An *active* span around the write, so storage-layer spans
+        # (tiered seal/compact) parent under the flush that caused them.
+        span = (TELEMETRY.tracer.span("ingest.flush",
+                                      backend=self.backend.name,
+                                      trigger=trigger, rows=batch.rows,
+                                      flush_index=self._flush_index)
+                if TELEMETRY.enabled else None)
         start = time.perf_counter()
         try:
-            outcome = self.backend.write(batch)
+            if span is None:
+                outcome = self.backend.write(batch)
+            else:
+                with span:
+                    outcome = self.backend.write(batch)
         except Exception:
             self.buffer.append(batch.values, dims=batch.dims,
                                timestamps=batch.timestamps)
+            if TELEMETRY.enabled:
+                TELEMETRY.registry.counter(
+                    "ingest_write_errors_total",
+                    backend=self.backend.name).inc()
             raise
         write_seconds = time.perf_counter() - start
         report = IngestReport(
@@ -209,6 +229,16 @@ class IngestSession:
         self.reports.append(report)
         self.total_rows += report.rows
         self.total_cells += report.cells
+        if span is not None:
+            registry = TELEMETRY.registry
+            name = self.backend.name
+            registry.counter("ingest_rows_total", backend=name).inc(report.rows)
+            registry.counter("ingest_cells_total",
+                             backend=name).inc(report.cells)
+            registry.counter("ingest_flushes_total", backend=name,
+                             trigger=trigger).inc()
+            registry.histogram("ingest_flush_seconds",
+                               backend=name).observe(write_seconds)
         return report
 
     def close(self) -> IngestReport | None:

@@ -41,18 +41,24 @@ import os
 import re
 import threading
 import zlib
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
 
 from ..core.errors import StorageError
 from ..core.grouping import lexsort_groups
+from ..telemetry import TELEMETRY
 from ..core.sketch import DEFAULT_ORDER, MomentsSketch
 from ..store import PackedSketchStore
 from .format import (KIND_COLD, KIND_WARM, ColdSpec, SegmentFile,
                      build_segment_bytes, canonical_key, open_segment,
                      sort_key)
 from .manifest import Manifest
+
+#: Shared no-op context manager for disabled-telemetry paths
+#: (``nullcontext`` is stateless, so one instance is reusable).
+_NULL_CM = nullcontext()
 
 #: Hot-tier byte budget before an automatic seal (4 MiB of SoA buffers).
 DEFAULT_HOT_BUDGET = 4 << 20
@@ -240,6 +246,8 @@ class TieredStore:
                 cells = int(starts.size)
             self.epoch += 1
             self._maybe_seal()
+            if TELEMETRY.enabled:
+                self._publish_gauges()
             return cells
 
     def ingest_values(self, values) -> int:
@@ -280,20 +288,31 @@ class TieredStore:
             n = len(self.hot)
             if n == 0:
                 return None
-            seen = [self._seen[key] for key in self._hot_keys]
-            name = self._write_new_segment(self.hot, self._hot_keys, seen,
-                                           cold=None)
-            self.manifest.commit(tuple(self.manifest.segments) + (name,))
-            seg = open_segment(self.directory / name, verify=False)
-            self.segments.append(seg)
-            position = len(self.segments) - 1
-            for row, key in enumerate(seg.keys):
-                self._index[key] = (position, row)
-            self.hot = PackedSketchStore(k=self.k, track_log=self.track_log)
-            self._hot_rows = {}
-            self._hot_keys = []
-            self.stats_counters["seals"] += 1
-            self.epoch += 1
+            span = (TELEMETRY.tracer.span("storage.seal",
+                                          store=self.directory.name, rows=n)
+                    if TELEMETRY.enabled else None)
+            with span if span is not None else _NULL_CM:
+                seen = [self._seen[key] for key in self._hot_keys]
+                name = self._write_new_segment(self.hot, self._hot_keys, seen,
+                                               cold=None)
+                self.manifest.commit(tuple(self.manifest.segments) + (name,))
+                seg = open_segment(self.directory / name, verify=False)
+                self.segments.append(seg)
+                position = len(self.segments) - 1
+                for row, key in enumerate(seg.keys):
+                    self._index[key] = (position, row)
+                self.hot = PackedSketchStore(k=self.k,
+                                             track_log=self.track_log)
+                self._hot_rows = {}
+                self._hot_keys = []
+                self.stats_counters["seals"] += 1
+                self.epoch += 1
+                if span is not None:
+                    span.set_attribute("segment", name)
+                    TELEMETRY.registry.counter(
+                        "storage_seals_total",
+                        store=self.directory.name).inc()
+                    self._publish_gauges()
             return name
 
     # ------------------------------------------------------------------
@@ -410,46 +429,62 @@ class TieredStore:
                 raise StorageError(
                     f"invalid compaction run [{start}, {stop}) over "
                     f"{len(self.segments)} segments")
-            chosen = self.segments[start:stop]
-            newest: dict[tuple, tuple[int, int]] = {}
-            for local, seg in enumerate(chosen):
-                for row, key in enumerate(seg.keys):
-                    newest[key] = (local, row)
-            keys = list(newest)
-            merged = PackedSketchStore(k=self.k, track_log=self.track_log,
-                                       capacity=len(keys))
-            for _ in keys:
-                merged.new_row()
-            per_local: dict[int, tuple[list[int], list[int]]] = {}
-            for dst, key in enumerate(keys):
-                local, src = newest[key]
-                pairs = per_local.setdefault(local, ([], []))
-                pairs[0].append(src)
-                pairs[1].append(dst)
-            for local, (src_rows, dst_rows) in per_local.items():
-                self._copy_rows(merged, dst_rows, chosen[local], src_rows)
-            cold = None
-            if all(seg.kind == KIND_COLD for seg in chosen):
-                cold = chosen[-1].codec
-            seen = [self._seen[key] for key in keys]
-            name = self._write_new_segment(merged, keys, seen, cold=cold)
-            live = list(self.manifest.segments)
-            replaced = live[start:stop]
-            live[start:stop] = [name]
-            self.manifest.commit(live)
-            for seg in chosen:
-                seg.close()
-                seg.path.unlink()
-            self.segments[start:stop] = [
-                open_segment(self.directory / name, verify=False)]
-            self._rebuild_index()
-            self.stats_counters["compactions"] += 1
-            self.epoch += 1
-            rows_in = sum(seg.rows for seg in chosen)
-            return {"replaced": replaced, "created": name,
-                    "rows_in": rows_in, "rows_out": len(keys),
-                    "reclaimed_rows": rows_in - len(keys),
-                    "kind": "cold" if cold is not None else "warm"}
+            span = (TELEMETRY.tracer.span("storage.compact",
+                                          store=self.directory.name,
+                                          start=start, stop=stop)
+                    if TELEMETRY.enabled else None)
+            with span if span is not None else _NULL_CM:
+                chosen = self.segments[start:stop]
+                newest: dict[tuple, tuple[int, int]] = {}
+                for local, seg in enumerate(chosen):
+                    for row, key in enumerate(seg.keys):
+                        newest[key] = (local, row)
+                keys = list(newest)
+                merged = PackedSketchStore(k=self.k, track_log=self.track_log,
+                                           capacity=len(keys))
+                for _ in keys:
+                    merged.new_row()
+                per_local: dict[int, tuple[list[int], list[int]]] = {}
+                for dst, key in enumerate(keys):
+                    local, src = newest[key]
+                    pairs = per_local.setdefault(local, ([], []))
+                    pairs[0].append(src)
+                    pairs[1].append(dst)
+                for local, (src_rows, dst_rows) in per_local.items():
+                    self._copy_rows(merged, dst_rows, chosen[local], src_rows)
+                cold = None
+                if all(seg.kind == KIND_COLD for seg in chosen):
+                    cold = chosen[-1].codec
+                seen = [self._seen[key] for key in keys]
+                name = self._write_new_segment(merged, keys, seen, cold=cold)
+                live = list(self.manifest.segments)
+                replaced = live[start:stop]
+                live[start:stop] = [name]
+                self.manifest.commit(live)
+                for seg in chosen:
+                    seg.close()
+                    seg.path.unlink()
+                self.segments[start:stop] = [
+                    open_segment(self.directory / name, verify=False)]
+                self._rebuild_index()
+                self.stats_counters["compactions"] += 1
+                self.epoch += 1
+                rows_in = sum(seg.rows for seg in chosen)
+                if span is not None:
+                    span.set_attribute("rows_in", rows_in)
+                    span.set_attribute("rows_out", len(keys))
+                    span.set_attribute("reclaimed_rows", rows_in - len(keys))
+                    registry = TELEMETRY.registry
+                    registry.counter("storage_compactions_total",
+                                     store=self.directory.name).inc()
+                    registry.counter("storage_reclaimed_rows_total",
+                                     store=self.directory.name
+                                     ).inc(rows_in - len(keys))
+                    self._publish_gauges()
+                return {"replaced": replaced, "created": name,
+                        "rows_in": rows_in, "rows_out": len(keys),
+                        "reclaimed_rows": rows_in - len(keys),
+                        "kind": "cold" if cold is not None else "warm"}
 
     def demote(self, count: int = 1, spec: ColdSpec | None = None) -> list:
         """Rewrite the oldest ``count`` warm segments in the cold layout.
@@ -468,29 +503,40 @@ class TieredStore:
             warm = [position for position, seg in enumerate(self.segments)
                     if seg.kind == KIND_WARM]
             created = []
-            for position in warm[:max(int(count), 0)]:
-                seg = self.segments[position]
-                staged = PackedSketchStore(k=self.k,
-                                           track_log=self.track_log,
-                                           capacity=seg.rows)
-                for _ in range(seg.rows):
-                    staged.new_row()
-                rows = list(range(seg.rows))
-                self._copy_rows(staged, rows, seg, rows)
-                name = self._write_new_segment(staged, seg.keys,
-                                               seg.first_seen, cold=spec)
-                live = list(self.manifest.segments)
-                live[position] = name
-                self.manifest.commit(live)
-                seg.close()
-                seg.path.unlink()
-                self.segments[position] = open_segment(
-                    self.directory / name, verify=False)
-                created.append(name)
-            if created:
-                self._rebuild_index()
-                self.stats_counters["demotions"] += len(created)
-                self.epoch += 1
+            span = (TELEMETRY.tracer.span("storage.demote",
+                                          store=self.directory.name,
+                                          requested=int(count))
+                    if TELEMETRY.enabled else None)
+            with span if span is not None else _NULL_CM:
+                for position in warm[:max(int(count), 0)]:
+                    seg = self.segments[position]
+                    staged = PackedSketchStore(k=self.k,
+                                               track_log=self.track_log,
+                                               capacity=seg.rows)
+                    for _ in range(seg.rows):
+                        staged.new_row()
+                    rows = list(range(seg.rows))
+                    self._copy_rows(staged, rows, seg, rows)
+                    name = self._write_new_segment(staged, seg.keys,
+                                                   seg.first_seen, cold=spec)
+                    live = list(self.manifest.segments)
+                    live[position] = name
+                    self.manifest.commit(live)
+                    seg.close()
+                    seg.path.unlink()
+                    self.segments[position] = open_segment(
+                        self.directory / name, verify=False)
+                    created.append(name)
+                if created:
+                    self._rebuild_index()
+                    self.stats_counters["demotions"] += len(created)
+                    self.epoch += 1
+                if span is not None:
+                    span.set_attribute("demoted", len(created))
+                    TELEMETRY.registry.counter(
+                        "storage_demotions_total",
+                        store=self.directory.name).inc(len(created))
+                    self._publish_gauges()
             return created
 
     # ------------------------------------------------------------------
@@ -500,6 +546,31 @@ class TieredStore:
     def disk_bytes(self) -> int:
         with self._lock:
             return sum(seg.size_bytes for seg in self.segments)
+
+    def _publish_gauges(self) -> None:
+        """Push tier sizes, hot-budget occupancy, and compaction debt
+        into the telemetry registry (caller holds the lock)."""
+        registry = TELEMETRY.registry
+        store = self.directory.name
+        warm = cold = stored_rows = 0
+        for seg in self.segments:
+            stored_rows += seg.rows
+            if seg.kind == KIND_COLD:
+                cold += seg.size_bytes
+            else:
+                warm += seg.size_bytes
+        hot_bytes = self.hot.size_bytes()
+        registry.gauge("storage_hot_bytes", store=store).set(hot_bytes)
+        registry.gauge("storage_warm_bytes", store=store).set(warm)
+        registry.gauge("storage_cold_bytes", store=store).set(cold)
+        registry.gauge("storage_segments", store=store).set(
+            len(self.segments))
+        registry.gauge("storage_hot_budget_occupancy", store=store).set(
+            hot_bytes / self.hot_budget_bytes if self.hot_budget_bytes else 0.0)
+        # Compaction debt: stored rows superseded by newer versions —
+        # what a full compaction pass would reclaim.
+        registry.gauge("storage_compaction_debt_rows", store=store).set(
+            stored_rows + len(self.hot) - len(self._seen))
 
     def stats(self) -> dict:
         with self._lock:

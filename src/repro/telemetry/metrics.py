@@ -1,0 +1,380 @@
+"""Mergeable runtime metrics: counters, gauges, log-linear histograms.
+
+The histogram mirrors the paper's central trick — a tiny, mergeable
+summary — applied to latencies instead of data values.  Buckets follow a
+fixed log2 layout (``index = floor(S * log2(v))`` with ``S`` sub-buckets
+per octave), so two histograms built from disjoint sample sets merge by
+integer bucket-count addition plus min/max folds.  Integer adds are
+exact, associative, and commutative, which makes fold order irrelevant:
+partials shipped by cluster nodes can be folded in any order (or any
+tree shape) and yield a byte-identical result.  No floating-point sum is
+kept precisely because float addition is *not* associative and would
+break that guarantee.
+
+Quantile estimates return the geometric midpoint of the rank's bucket,
+clamped into [min, max].  For positive samples the estimate's relative
+error vs the exact rank statistic is bounded by ``2**(1/(2S)) - 1``
+(about 4.4% at the default S=8).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import threading
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+DEFAULT_SUBBUCKETS = 8
+
+# Partial wire format: header + sorted (bucket_index, count) entries for
+# the positive then negative bucket maps.  Sorting makes serialization
+# deterministic, so equal histogram states produce equal bytes.
+_MAGIC = b"RTH1"
+_HEADER = struct.Struct("<4sBxHHQdd")  # magic, S, n_pos, n_neg, zeros, min, max
+_ENTRY = struct.Struct("<iQ")
+
+
+class LogHistogram:
+    """Log-linear latency histogram with exact, order-free merges."""
+
+    __slots__ = ("subbuckets", "zeros", "min", "max", "_pos", "_neg", "_lock")
+
+    def __init__(self, subbuckets: int = DEFAULT_SUBBUCKETS):
+        if not 1 <= int(subbuckets) <= 255:
+            raise ValueError("subbuckets must be in [1, 255]")
+        self.subbuckets = int(subbuckets)
+        self.zeros = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------
+
+    def _index(self, magnitude: float) -> int:
+        return math.floor(self.subbuckets * math.log2(magnitude))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"cannot observe non-finite value {value!r}")
+        with self._lock:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if value == 0.0:
+                self.zeros += 1
+            elif value > 0.0:
+                i = self._index(value)
+                self._pos[i] = self._pos.get(i, 0) + 1
+            else:
+                i = self._index(-value)
+                self._neg[i] = self._neg.get(i, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    # -- state -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.zeros + sum(self._pos.values()) + sum(self._neg.values())
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Worst-case relative error of quantile() for positive samples."""
+        return 2.0 ** (1.0 / (2.0 * self.subbuckets)) - 1.0
+
+    def state(self) -> tuple:
+        """Canonical comparable state (used by tests and __eq__)."""
+        return (
+            self.subbuckets,
+            self.zeros,
+            self.min,
+            self.max,
+            tuple(sorted(self._pos.items())),
+            tuple(sorted(self._neg.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogHistogram):
+            return NotImplemented
+        return self.state() == other.state()
+
+    def __hash__(self):  # mutable; identity hash like list would refuse
+        raise TypeError("LogHistogram is unhashable")
+
+    # -- merging -----------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        if other.subbuckets != self.subbuckets:
+            raise ValueError(
+                f"cannot merge histograms with different layouts "
+                f"(S={self.subbuckets} vs S={other.subbuckets})"
+            )
+        with self._lock:
+            self.zeros += other.zeros
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+            for i, c in other._pos.items():
+                self._pos[i] = self._pos.get(i, 0) + c
+            for i, c in other._neg.items():
+                self._neg[i] = self._neg.get(i, 0) + c
+        return self
+
+    # -- wire partials -----------------------------------------------
+
+    def to_partial(self) -> bytes:
+        """Serialize to a compact binary partial (~100 bytes in practice).
+
+        Deterministic: equal states yield equal bytes, so a fold across
+        N nodes can be checked for bit-identity against a single-process
+        histogram of the same samples.
+        """
+        with self._lock:
+            pos = sorted(self._pos.items())
+            neg = sorted(self._neg.items())
+            out = [_HEADER.pack(_MAGIC, self.subbuckets, len(pos), len(neg),
+                                self.zeros, self.min, self.max)]
+            for i, c in pos:
+                out.append(_ENTRY.pack(i, c))
+            for i, c in neg:
+                out.append(_ENTRY.pack(i, c))
+        return b"".join(out)
+
+    @classmethod
+    def from_partial(cls, blob: bytes) -> "LogHistogram":
+        magic, sub, n_pos, n_neg, zeros, mn, mx = _HEADER.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise ValueError("bad histogram partial magic")
+        hist = cls(subbuckets=sub)
+        hist.zeros = zeros
+        hist.min = mn
+        hist.max = mx
+        off = _HEADER.size
+        for _ in range(n_pos):
+            i, c = _ENTRY.unpack_from(blob, off)
+            hist._pos[i] = c
+            off += _ENTRY.size
+        for _ in range(n_neg):
+            i, c = _ENTRY.unpack_from(blob, off)
+            hist._neg[i] = c
+            off += _ENTRY.size
+        return hist
+
+    def merge_partial(self, blob: bytes) -> "LogHistogram":
+        return self.merge(LogHistogram.from_partial(blob))
+
+    # -- estimation --------------------------------------------------
+
+    def _bucket_value(self, index: int, sign: int) -> float:
+        mid = 2.0 ** ((index + 0.5) / self.subbuckets)
+        return sign * mid
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (q in [0, 1]) from bucket midpoints."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            total = self.zeros + sum(self._pos.values()) + sum(self._neg.values())
+            if total == 0:
+                return math.nan
+            rank = max(1, math.ceil(q * total))
+            seen = 0
+            # Ascending value order: negatives (largest magnitude first),
+            # zeros, then positives.
+            for i in sorted(self._neg, reverse=True):
+                seen += self._neg[i]
+                if seen >= rank:
+                    return self._clamp(self._bucket_value(i, -1))
+            seen += self.zeros
+            if seen >= rank:
+                return self._clamp(0.0)
+            for i in sorted(self._pos):
+                seen += self._pos[i]
+                if seen >= rank:
+                    return self._clamp(self._bucket_value(i, +1))
+        return self.max  # pragma: no cover - rank <= total always lands
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min), self.max)
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    def approx_sum(self) -> float:
+        """Approximate sample sum from bucket midpoints (NOT mergeable
+        exactly — derived on demand, never stored)."""
+        with self._lock:
+            total = 0.0
+            for i, c in self._pos.items():
+                total += c * self._bucket_value(i, +1)
+            for i, c in self._neg.items():
+                total += c * self._bucket_value(i, -1)
+        return total
+
+    # -- dict round trip ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "subbuckets": self.subbuckets,
+                "zeros": self.zeros,
+                "min": None if math.isinf(self.min) else self.min,
+                "max": None if math.isinf(self.max) else self.max,
+                "pos": sorted(self._pos.items()),
+                "neg": sorted(self._neg.items()),
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LogHistogram":
+        hist = cls(subbuckets=payload.get("subbuckets", DEFAULT_SUBBUCKETS))
+        hist.zeros = int(payload.get("zeros", 0))
+        mn = payload.get("min")
+        mx = payload.get("max")
+        hist.min = math.inf if mn is None else float(mn)
+        hist.max = -math.inf if mx is None else float(mx)
+        hist._pos = {int(i): int(c) for i, c in payload.get("pos", [])}
+        hist._neg = {int(i): int(c) for i, c in payload.get("neg", [])}
+        return hist
+
+
+class Counter:
+    """Monotonic counter (int increments)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += float(delta)
+
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, object]) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Process-wide registry keyed by (metric name, sorted label set).
+
+    Registries themselves merge (counters add, histograms fold, gauges
+    last-write-wins), so a broker can fold node-level registries the
+    same way it folds sketch partials.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[LabelKey, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, labels: Mapping[str, object], factory):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        metric = self._get(name, labels, Counter)
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name} already registered as {type(metric).__name__}")
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        metric = self._get(name, labels, Gauge)
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name} already registered as {type(metric).__name__}")
+        return metric
+
+    def histogram(self, name: str, subbuckets: int = DEFAULT_SUBBUCKETS,
+                  **labels) -> LogHistogram:
+        metric = self._get(name, labels, lambda: LogHistogram(subbuckets))
+        if not isinstance(metric, LogHistogram):
+            raise TypeError(f"{name} already registered as {type(metric).__name__}")
+        return metric
+
+    def items(self) -> List[Tuple[str, Dict[str, str], object]]:
+        """Sorted (name, labels, metric) triples — a stable snapshot."""
+        with self._lock:
+            snap = sorted(self._metrics.items())
+        return [(name, dict(labels), metric) for (name, labels), metric in snap]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        for name, labels, metric in other.items():
+            if isinstance(metric, Counter):
+                self.counter(name, **labels).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(name, **labels).set(metric.value)
+            elif isinstance(metric, LogHistogram):
+                self.histogram(name, subbuckets=metric.subbuckets,
+                               **labels).merge(metric)
+        return self
+
+    def to_dict(self) -> dict:
+        out = {"counters": [], "gauges": [], "histograms": []}
+        for name, labels, metric in self.items():
+            entry = {"name": name, "labels": labels}
+            if isinstance(metric, Counter):
+                entry["value"] = metric.value
+                out["counters"].append(entry)
+            elif isinstance(metric, Gauge):
+                entry["value"] = metric.value
+                out["gauges"].append(entry)
+            elif isinstance(metric, LogHistogram):
+                entry.update(metric.to_dict())
+                out["histograms"].append(entry)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsRegistry":
+        reg = cls()
+        for entry in payload.get("counters", []):
+            reg.counter(entry["name"], **entry.get("labels", {})).inc(int(entry["value"]))
+        for entry in payload.get("gauges", []):
+            reg.gauge(entry["name"], **entry.get("labels", {})).set(float(entry["value"]))
+        for entry in payload.get("histograms", []):
+            hist = LogHistogram.from_dict(entry)
+            reg.histogram(entry["name"], subbuckets=hist.subbuckets,
+                          **entry.get("labels", {})).merge(hist)
+        return reg
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()

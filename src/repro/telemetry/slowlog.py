@@ -1,0 +1,60 @@
+"""Slow-query log: full span trees for queries over a latency threshold."""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import List, Optional
+
+from .trace import Tracer
+
+DEFAULT_CAPACITY = 32
+
+
+class SlowQueryLog:
+    """Keeps the newest N slow-query captures, each with its span tree.
+
+    Disabled until a threshold is set (``threshold_seconds=None`` means
+    never capture; ``0.0`` captures every query — useful in smoke CI).
+    """
+
+    def __init__(self, threshold_seconds: Optional[float] = None,
+                 capacity: int = DEFAULT_CAPACITY):
+        self.threshold_seconds = threshold_seconds
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.captured = 0
+
+    def consider(self, root_payload: dict, tracer: Tracer) -> bool:
+        """Capture the query if its root span crossed the threshold.
+
+        Call right after the root span ends, while its child spans are
+        still in the tracer ring.
+        """
+        if self.threshold_seconds is None:
+            return False
+        duration = root_payload.get("duration_seconds") or 0.0
+        if duration < self.threshold_seconds:
+            return False
+        entry = {
+            "captured_unix": time.time(),
+            "trace_id": root_payload.get("trace_id"),
+            "root": root_payload.get("name"),
+            "duration_seconds": duration,
+            "attributes": dict(root_payload.get("attributes") or {}),
+            "spans": tracer.trace(root_payload["trace_id"]),
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self.captured += 1
+        return True
+
+    def entries(self) -> List[dict]:
+        with self._lock:
+            return list(self._entries)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.captured = 0
