@@ -16,8 +16,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-merge bench-batch bench-cluster bench-ingest bench-solve \
-	bench-tiered bench-telemetry bench-harness bench
+.PHONY: test lint bench-merge bench-batch bench-cluster bench-ingest \
+	bench-solve bench-tiered bench-telemetry bench-harness bench
+
+# Static analysis gate: the repo-invariant analyzers (lock discipline,
+# determinism, telemetry guards, API hygiene) against the committed
+# baseline, plus mypy when available (the CI lint job installs it; the
+# guard keeps `make lint` usable in minimal environments).
+lint:
+	$(PYTHON) -m repro.cli analysis lint src examples \
+		--baseline .analysis-baseline.json
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file mypy.ini; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi
 
 test:
 	$(PYTHON) -m compileall -q src

@@ -46,7 +46,7 @@ def main() -> None:
 
     processor = TurnstileWindowProcessor(panes, window_panes=WINDOW_PANES)
     start = time.perf_counter()
-    result = processor.query(threshold=THRESHOLD, phi=PHI)
+    result = processor.query(threshold=THRESHOLD, q=PHI)
     turnstile_seconds = time.perf_counter() - start
 
     print(f"\nturnstile scan: {result.windows_checked} windows in "

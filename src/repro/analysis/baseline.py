@@ -1,0 +1,79 @@
+"""Baseline suppression: accepted legacy findings live in one file.
+
+A baseline entry is keyed on ``path::rule::stripped-source-line`` so it
+survives unrelated line-number drift but dies with the offending code.
+Matching is multiset-accurate: two identical violations need two
+baseline entries, so fixing one of them surfaces the other.
+
+The shipped baseline (``.analysis-baseline.json``) starts *empty* —
+this PR fixes every true positive instead of grandfathering it — but
+the mechanism is what lets the next rule family land without blocking
+on a repo-wide cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..core.errors import AnalysisError
+from .core import Finding
+
+PathLike = Union[str, Path]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: PathLike) -> Counter:
+    """Baseline-key multiset from a baseline document on disk."""
+    raw = Path(path)
+    try:
+        doc = json.loads(raw.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise AnalysisError(f"baseline file not found: {raw}")
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"corrupt baseline {raw}: {exc}")
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {raw} has unsupported version "
+            f"{doc.get('version') if isinstance(doc, dict) else doc!r}")
+    entries = doc.get("findings", [])
+    if not isinstance(entries, list):
+        raise AnalysisError(f"baseline {raw}: 'findings' must be a list")
+    keys: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict) or "key" not in entry:
+            raise AnalysisError(
+                f"baseline {raw}: each finding needs a 'key' field")
+        keys[str(entry["key"])] += 1
+    return keys
+
+
+def save_baseline(path: PathLike, findings: Sequence[Finding]) -> None:
+    """Write the given findings as the new accepted baseline."""
+    entries: List[Dict[str, object]] = [
+        {"key": f.baseline_key(), "rule": f.rule, "path": f.path}
+        for f in sorted(findings, key=Finding.sort_key)]
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Counter
+                   ) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against the baseline.
+
+    Consumes baseline entries one-for-one, preserving finding order.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -1,0 +1,113 @@
+"""Determinism discipline for merge-order-sensitive modules.
+
+The repo's accuracy story rests on bit-exact left-fold merges
+(``merge_all`` documents the canonical order, and the cluster layer
+sorts partials before folding).  Any iteration whose order depends on
+hash seeds, or any float accumulation whose association order is
+unspecified, silently breaks that contract.  Within the modules listed
+in ``AnalysisConfig.determinism_modules``:
+
+* **DET001** — iterating a ``set`` (literal, ``set()`` call, or set
+  comprehension) in a ``for`` loop or comprehension.  Sets are fine for
+  membership; iterate ``sorted(...)`` instead when order can leak into
+  results.
+* **DET002** — iterating ``d.keys()`` in a loop or comprehension.
+  ``.keys()`` adds nothing over iterating the dict and, like it,
+  yields insertion order — which for merged state is arrival order;
+  spell the intended order with ``sorted(d)`` instead.  (``.items()``
+  and ``.values()`` loops are left alone: the repo's hot maps are
+  built in sorted key order, so those iterations are deterministic.)
+* **DET003** — accumulating floats with builtin ``sum(...)`` when the
+  argument mentions a float-hinted identifier (latency, power_sums,
+  estimate, ...).  Builtin ``sum`` folds in iteration order with no
+  compensation; use an explicit sorted fold or ``math.fsum``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from .core import Checker, Finding, ModuleContext, RuleSpec
+
+SET_ITER = "DET001"
+DICT_VIEW_ITER = "DET002"
+FLOAT_SUM = "DET003"
+
+_DICT_VIEWS = ("keys",)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    return False
+
+
+def _dict_view_name(node: ast.expr) -> str:
+    """'keys'/'values'/'items' when node is ``<expr>.keys()`` etc."""
+    if isinstance(node, ast.Call) and not node.args and not node.keywords \
+            and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in _DICT_VIEWS:
+        return node.func.attr
+    return ""
+
+
+class DeterminismChecker(Checker):
+    """Flags hash-order and fold-order hazards in tagged modules."""
+
+    rules = (
+        RuleSpec(SET_ITER, "set iterated in a merge-order-sensitive module"),
+        RuleSpec(DICT_VIEW_ITER,
+                 "dict view iterated in a merge-order-sensitive module"),
+        RuleSpec(FLOAT_SUM,
+                 "float accumulation via builtin sum() in a "
+                 "merge-order-sensitive module"),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.matches(self.config.determinism_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield ctx.finding(
+                        it, SET_ITER,
+                        "iteration order of a set depends on hash seeds; "
+                        "iterate sorted(...) so merged results stay "
+                        "bit-exact")
+                view = _dict_view_name(it)
+                if view:
+                    yield ctx.finding(
+                        it, DICT_VIEW_ITER,
+                        f"dict .{view}() iterates in insertion order, "
+                        "which is arrival order for merged state; iterate "
+                        "sorted(...) instead")
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                    and node.func.id == "sum" and node.args \
+                    and self._mentions_float_hint(node.args[0]):
+                yield ctx.finding(
+                    node, FLOAT_SUM,
+                    "builtin sum() folds floats in unspecified association "
+                    "order; use an explicit sorted fold or math.fsum for "
+                    "merge-order-stable totals")
+
+    def _mentions_float_hint(self, node: ast.expr) -> bool:
+        hints = self.config.float_sum_hints
+        for sub in ast.walk(node):
+            name = ""
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name and any(hint in name for hint in hints):
+                return True
+        return False

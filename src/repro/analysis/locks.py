@@ -1,0 +1,107 @@
+"""Lock discipline: declared guarded state is only touched under its lock.
+
+An intraprocedural held-locks dataflow over ``with self.<lock>:`` blocks
+for every class declared in the ``guarded_by`` registry:
+
+* **LOCK001** — a read or write of a lock-guarded attribute outside any
+  ``with self.<lock>`` block.  Nested functions and lambdas reset the
+  held state: a closure defined inside a lock block may run later on
+  another thread (e.g. submitted to the broker pool), so holding the
+  lock at definition time proves nothing at call time.
+* **LOCK002** — a ``self._foo_locked(...)`` call made without holding
+  the lock.  The ``_locked`` suffix is the repo convention for private
+  helpers whose callers must hold the lock; their bodies are analyzed
+  as lock-held, and this rule closes the loop at the call sites.
+
+``__init__`` (plus any method listed in ``LockSpec.init_methods``) is
+treated as implicitly holding every lock: the object has not been
+published to other threads yet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from .config import LockSpec
+from .core import Checker, Finding, ModuleContext, RuleSpec, is_self_attr
+
+LOCK_OUTSIDE = "LOCK001"
+LOCK_HELPER = "LOCK002"
+
+
+class LockDisciplineChecker(Checker):
+    """Enforces the GUARDED_BY registry declared in the config."""
+
+    rules = (
+        RuleSpec(LOCK_OUTSIDE,
+                 "lock-guarded attribute accessed outside its lock"),
+        RuleSpec(LOCK_HELPER,
+                 "_locked-suffixed helper called without holding the lock"),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        specs: Dict[str, LockSpec] = {}
+        for pattern, classes in self.config.guarded_by.items():
+            if pattern in ctx.rel:
+                specs.update(classes)
+        if not specs:
+            return
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name in specs:
+                yield from self._check_class(ctx, node, specs[node.name])
+
+    def _check_class(self, ctx: ModuleContext, cls: ast.ClassDef,
+                     spec: LockSpec) -> Iterator[Finding]:
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                held = (item.name in spec.init_methods
+                        or item.name.endswith("_locked"))
+                for stmt in item.body:
+                    yield from self._visit(ctx, stmt, spec, held,
+                                           escaped=False)
+
+    # ------------------------------------------------------------------
+
+    def _visit(self, ctx: ModuleContext, node: ast.AST, spec: LockSpec,
+               held: bool, escaped: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            takes_lock = any(
+                is_self_attr(item.context_expr, spec.lock_attr)
+                for item in node.items)
+            for item in node.items:
+                yield from self._visit(ctx, item.context_expr, spec, held,
+                                       escaped)
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, spec, held or takes_lock,
+                                       escaped)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # Closure escape: the body may run after the lock is gone.
+            body = (node.body if isinstance(node.body, list)
+                    else [node.body])
+            for stmt in body:
+                yield from self._visit(ctx, stmt, spec, held=False,
+                                       escaped=True)
+            return
+        if isinstance(node, ast.Attribute) and not held \
+                and is_self_attr(node) and node.attr in spec.guarded:
+            where = (" (closure may outlive the lock scope — e.g. a "
+                     "callback submitted to a thread pool)"
+                     if escaped else "")
+            yield ctx.finding(
+                node, LOCK_OUTSIDE,
+                f"'self.{node.attr}' is guarded by 'self.{spec.lock_attr}' "
+                f"but accessed outside a 'with self.{spec.lock_attr}:' "
+                f"block{where}")
+            # Fall through: still visit children (subscripts etc.).
+        if isinstance(node, ast.Call) and not held \
+                and is_self_attr(node.func) \
+                and node.func.attr.endswith("_locked"):
+            yield ctx.finding(
+                node, LOCK_HELPER,
+                f"'self.{node.func.attr}()' requires "
+                f"'self.{spec.lock_attr}' to be held by the caller")
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, spec, held, escaped)

@@ -195,7 +195,7 @@ class QueryService:
         return (self._finish_rollup(spec, the_plan, result, timings_base,
                                     shared), shared, merges)
 
-    def _execute_traced(self, spec: QuerySpec,
+    def _execute_traced(self, spec: QuerySpec,  # repro: noqa[TEL001]
                         rollups: dict, group_rollups: dict
                         ) -> tuple[QueryResponse, bool, int]:
         """Telemetry wrapper around :meth:`_execute_spec`.

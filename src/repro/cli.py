@@ -314,8 +314,12 @@ def cmd_harness_run(args: argparse.Namespace) -> dict:
     return record
 
 
-def _write_telemetry_artifacts(directory) -> dict:
-    """Dump the live telemetry plane into ``directory``; returns paths."""
+def _write_telemetry_artifacts(directory) -> dict:  # repro: noqa[TEL001]
+    """Dump the live telemetry plane into ``directory``; returns paths.
+
+    Callers invoke this only when telemetry is enabled (an explicit
+    ``--telemetry-out`` opt-in), hence the function-level TEL001 escape.
+    """
     from .telemetry import TELEMETRY, render_json, render_prometheus
 
     directory = Path(directory)
@@ -545,6 +549,56 @@ def cmd_cluster_placement(args: argparse.Namespace) -> dict:
 # Parser
 # ----------------------------------------------------------------------
 
+def cmd_analysis_lint(args) -> dict:
+    """Run the repo-invariant static analyzers; exits 1 on new findings.
+
+    Unlike the other handlers this one prints its own report (text or
+    JSON) and raises ``SystemExit`` directly: lint is a pass/fail
+    gate, and its exit code must reflect the findings, not whether the
+    handler itself ran cleanly.
+    """
+    from .analysis import (all_rules, analyze_paths, apply_baseline,
+                           load_baseline, save_baseline)
+
+    if args.rules:
+        catalogue = {spec.rule: spec.summary for spec in all_rules()}
+        print(json.dumps({"rules": catalogue}, indent=2))
+        raise SystemExit(0)
+
+    findings, files = analyze_paths(args.paths or ["src"])
+    if args.update_baseline:
+        if not args.baseline:
+            print(json.dumps(
+                {"error": "--update-baseline requires --baseline PATH"}))
+            raise SystemExit(2)
+        save_baseline(args.baseline, findings)
+        print(json.dumps({"baseline": str(args.baseline),
+                          "accepted": len(findings)}))
+        raise SystemExit(0)
+    suppressed = 0
+    if args.baseline:
+        findings, suppressed = apply_baseline(findings,
+                                              load_baseline(args.baseline))
+
+    document = {
+        "files_checked": files,
+        "findings": [finding.to_dict() for finding in findings],
+        "suppressed_by_baseline": suppressed,
+    }
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = (f"{len(findings)} finding(s) in {files} file(s)"
+                   + (f", {suppressed} baselined" if suppressed else ""))
+        print(summary)
+    raise SystemExit(1 if findings else 0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -759,6 +813,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="trace to render (default: the trace of "
                                  "the longest root span)")
     tele_trace.set_defaults(handler=cmd_telemetry_trace)
+
+    analysis = subcommands.add_parser(
+        "analysis", help="repo-invariant static analysis")
+    analysis_sub = analysis.add_subparsers(dest="action", required=True)
+
+    lint = analysis_sub.add_parser(
+        "lint", help="check lock/determinism/telemetry/API invariants")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file of accepted legacy findings")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline with the current findings")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--output", default=None,
+                      help="also write the JSON report to this path "
+                           "(CI artifact)")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the rule catalogue and exit")
+    lint.set_defaults(handler=cmd_analysis_lint)
 
     datasets = subcommands.add_parser("datasets",
                                       help="synthetic evaluation datasets")

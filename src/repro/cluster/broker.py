@@ -29,6 +29,7 @@ unchanged") an exact-equality check rather than a tolerance test.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
@@ -70,6 +71,9 @@ class ClusterBroker:
                  threads: int = DEFAULT_THREADS):
         self.coordinator = coordinator
         self.threads = max(int(threads), 1)
+        #: Guards _pool, queries_served, last_profile: brokers are shared
+        #: by concurrent callers (each scatter already fans out threads).
+        self._lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self.last_profile: ScatterProfile | None = None
         #: Scatter rounds served (tests use this to assert scan sharing).
@@ -108,7 +112,7 @@ class ClusterBroker:
                 for owner in coordinator.ring.owners(shard):
                     if owner not in owners:
                         dead_routes[owner] = dead_routes.get(owner, 0) + 1
-        if dead_routes:
+        if telemetry_on and dead_routes:
             # Shards routed around a dead replica: record the failover on
             # the active scatter span and in the registry.
             span = TELEMETRY.tracer.current_span()
@@ -120,17 +124,20 @@ class ClusterBroker:
         return assignments
 
     def _executor(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.threads,
-                thread_name_prefix="cluster-broker")
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.threads,
+                    thread_name_prefix="cluster-broker")
+            return self._pool
 
     def close(self) -> None:
         """Shut the fan-out pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        # Shut down outside the lock: workers may be mid-scatter.
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ClusterBroker":
         return self
@@ -178,15 +185,17 @@ class ClusterBroker:
                     merged.merge(partial.state)
             merge_seconds = time.perf_counter() - start
 
-            self.queries_served += 1
-            self.last_profile = ScatterProfile(
+            profile = ScatterProfile(
                 route_seconds=route_seconds, scatter_seconds=scatter_seconds,
                 merge_seconds=merge_seconds, nodes_queried=len(assignments),
                 shards_scanned=len(partials),
                 cells_scanned=sum(p.cells_scanned for p in partials),
                 partial_bytes=sum(p.size_bytes() for p in partials))
+            with self._lock:
+                self.queries_served += 1
+                self.last_profile = profile
             if telemetry_on:
-                self._emit_scatter_telemetry(scatter_span, "rollup")
+                self._emit_scatter_telemetry(scatter_span, "rollup", profile)
         return merged
 
     def scatter_group(self, aggregator: str, dimension: str,
@@ -234,14 +243,16 @@ class ClusterBroker:
                         existing.merge(state)
             merge_seconds = time.perf_counter() - start
 
-            self.queries_served += 1
-            self.last_profile = ScatterProfile(
+            profile = ScatterProfile(
                 route_seconds=route_seconds, scatter_seconds=scatter_seconds,
                 merge_seconds=merge_seconds, nodes_queried=len(assignments),
                 shards_scanned=shards_hit, cells_scanned=cells,
                 partial_bytes=partial_bytes)
+            with self._lock:
+                self.queries_served += 1
+                self.last_profile = profile
             if telemetry_on:
-                self._emit_scatter_telemetry(scatter_span, "group")
+                self._emit_scatter_telemetry(scatter_span, "group", profile)
         return merged
 
     def _scatter(self, assignments: dict[str, list[int]], work) -> list:
@@ -273,6 +284,8 @@ class ClusterBroker:
 
     def _absorb_telemetry(self, payloads) -> None:
         """Adopt shipped shard spans and fold node histogram partials."""
+        if not TELEMETRY.enabled:
+            return
         tracer = TELEMETRY.tracer
         registry = TELEMETRY.registry
         for payload in payloads:
@@ -286,9 +299,16 @@ class ClusterBroker:
                 registry.histogram(
                     "cluster_shard_scan_seconds").merge_partial(hist)
 
-    def _emit_scatter_telemetry(self, scatter_span, kind: str) -> None:
-        """Phase spans + registry metrics for the profile just recorded."""
-        profile = self.last_profile
+    def _emit_scatter_telemetry(self, scatter_span, kind: str,
+                                profile: ScatterProfile) -> None:
+        """Phase spans + registry metrics for the profile just recorded.
+
+        Takes the profile as an argument (rather than re-reading
+        ``self.last_profile``) so a concurrent scatter cannot swap it
+        between publication and emission.
+        """
+        if not TELEMETRY.enabled:
+            return
         tracer = TELEMETRY.tracer
         base = scatter_span.start_monotonic
         tracer.record("cluster.route", profile.route_seconds,

@@ -11,6 +11,7 @@ from .errors import (
     ReproError, SketchError, IncompatibleSketchError, EmptySketchError,
     ConvergenceError, EstimationError, BoundError, EncodingError,
     DatasetError, QueryError, IngestError, BackpressureError,
+    TelemetryError, AnalysisError,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "ReproError", "SketchError", "IncompatibleSketchError", "EmptySketchError",
     "ConvergenceError", "EstimationError", "BoundError", "EncodingError",
     "DatasetError", "QueryError", "IngestError", "BackpressureError",
+    "TelemetryError", "AnalysisError",
 ]

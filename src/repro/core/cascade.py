@@ -122,7 +122,7 @@ class ThresholdCascade:
         The ``phi=`` keyword is deprecated in favor of the canonical
         ``q`` (see :func:`repro.core.params.normalize_q`).
         """
-        return self.evaluate(sketch, t, q, phi=phi).result
+        return self.evaluate(sketch, t, normalize_q(q, phi)).result
 
     def evaluate(self, sketch: MomentsSketch, t: float,
                  q: float | None = None, *,

@@ -95,6 +95,25 @@ class StorageError(ReproError):
     """
 
 
+class TelemetryError(ReproError, ValueError):
+    """Invalid telemetry configuration, observation, or partial payload.
+
+    Raised by :mod:`repro.telemetry` for malformed histogram layouts,
+    non-finite observations, corrupt wire partials, and metric dumps
+    that carry no telemetry.  Subclasses :class:`ValueError` so callers
+    that guarded the pre-taxonomy surface with ``except ValueError``
+    keep working.
+    """
+
+
+class AnalysisError(ReproError):
+    """Invalid static-analysis invocation or unreadable baseline.
+
+    Raised by :mod:`repro.analysis` for unparseable target paths, a
+    corrupt baseline document, or a malformed checker configuration.
+    """
+
+
 class HarnessError(ReproError):
     """Invalid workload-harness experiment spec or failed run contract.
 

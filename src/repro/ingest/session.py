@@ -17,6 +17,7 @@ behind one declarative surface.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Iterable, Mapping, Sequence
 
@@ -65,6 +66,12 @@ class IngestSession:
                 f"spec dimensions {spec.dimensions} do not match the "
                 f"target's schema {self.backend.dimensions}")
         self.auto_flush = bool(auto_flush)
+        #: Guards the buffer and the flush bookkeeping.  Reentrant
+        #: because append triggers flush inside the same critical
+        #: section; flushes serialize deliberately — _flush_index
+        #: stamps each drained batch for replica dedup, so two
+        #: interleaved flushes must not race for the same stamp.
+        self._lock = threading.RLock()
         self.buffer = WriteBuffer()
         self.reports: list[IngestReport] = []
         self.total_rows = 0
@@ -93,33 +100,37 @@ class IngestSession:
 
     @property
     def pending_rows(self) -> int:
-        return self.buffer.rows
+        with self._lock:
+            return self.buffer.rows
 
     @property
     def pending_bytes(self) -> int:
-        return self.buffer.nbytes
+        with self._lock:
+            return self.buffer.nbytes
 
     def append_columns(self, values, dims: Sequence = (),
                        timestamps=None) -> int:
         """Append aligned columnar arrays; returns the rows buffered."""
-        if self.closed:
-            raise IngestError("cannot append to a closed ingest session")
-        if not self.auto_flush and self.spec.max_pending_rows is not None:
-            incoming = np.shape(values)[0] if np.ndim(values) else 1
-            if self.buffer.rows + incoming > self.spec.max_pending_rows:
-                if TELEMETRY.enabled:
-                    TELEMETRY.registry.counter(
-                        "ingest_backpressure_total",
-                        backend=self.backend.name).inc()
-                # Rejected *before* buffering, so the caller can flush
-                # and re-send these rows without double-counting.
-                raise BackpressureError(
-                    f"appending {incoming} rows to {self.buffer.rows} "
-                    f"pending would exceed max_pending_rows="
-                    f"{self.spec.max_pending_rows}; flush first")
-        added = self.buffer.append(values, dims=dims, timestamps=timestamps)
-        self._after_append()
-        return added
+        with self._lock:
+            if self.closed:
+                raise IngestError("cannot append to a closed ingest session")
+            if not self.auto_flush and self.spec.max_pending_rows is not None:
+                incoming = np.shape(values)[0] if np.ndim(values) else 1
+                if self.buffer.rows + incoming > self.spec.max_pending_rows:
+                    if TELEMETRY.enabled:
+                        TELEMETRY.registry.counter(
+                            "ingest_backpressure_total",
+                            backend=self.backend.name).inc()
+                    # Rejected *before* buffering, so the caller can flush
+                    # and re-send these rows without double-counting.
+                    raise BackpressureError(
+                        f"appending {incoming} rows to {self.buffer.rows} "
+                        f"pending would exceed max_pending_rows="
+                        f"{self.spec.max_pending_rows}; flush first")
+            added = self.buffer.append(values, dims=dims,
+                                       timestamps=timestamps)
+            self._after_append_locked()
+            return added
 
     def append(self, rows: Iterable) -> int:
         """Append row objects — mappings or tuples — columnarized in one pass.
@@ -163,7 +174,7 @@ class IngestSession:
                     for position in range(ndims)]
         return self.append_columns(values, dims=dims, timestamps=timestamps)
 
-    def _after_append(self) -> None:
+    def _after_append_locked(self) -> None:
         spec = self.spec
         if not self.auto_flush:
             return
@@ -189,63 +200,65 @@ class IngestSession:
         retry; new rows would change the batch behind a stamp some
         replicas may have recorded.)
         """
-        if self.buffer.is_empty:
-            return None
-        sequence = self.spec.sequence_for(self._flush_index)
-        batch = self.buffer.drain(sequence=sequence)
-        # An *active* span around the write, so storage-layer spans
-        # (tiered seal/compact) parent under the flush that caused them.
-        span = (TELEMETRY.tracer.span("ingest.flush",
-                                      backend=self.backend.name,
-                                      trigger=trigger, rows=batch.rows,
-                                      flush_index=self._flush_index)
-                if TELEMETRY.enabled else None)
-        start = time.perf_counter()
-        try:
-            if span is None:
-                outcome = self.backend.write(batch)
-            else:
-                with span:
+        with self._lock:
+            if self.buffer.is_empty:
+                return None
+            sequence = self.spec.sequence_for(self._flush_index)
+            batch = self.buffer.drain(sequence=sequence)
+            # An *active* span around the write, so storage-layer spans
+            # (tiered seal/compact) parent under the flush that caused them.
+            span = (TELEMETRY.tracer.span("ingest.flush",
+                                          backend=self.backend.name,
+                                          trigger=trigger, rows=batch.rows,
+                                          flush_index=self._flush_index)
+                    if TELEMETRY.enabled else None)
+            start = time.perf_counter()
+            try:
+                if span is None:
                     outcome = self.backend.write(batch)
-        except Exception:
-            self.buffer.append(batch.values, dims=batch.dims,
-                               timestamps=batch.timestamps)
-            if TELEMETRY.enabled:
-                TELEMETRY.registry.counter(
-                    "ingest_write_errors_total",
-                    backend=self.backend.name).inc()
-            raise
-        write_seconds = time.perf_counter() - start
-        report = IngestReport(
-            backend=self.backend.name, flush_index=self._flush_index,
-            rows=batch.rows, cells=outcome.cells, trigger=trigger,
-            route_seconds=outcome.route_seconds,
-            pack_seconds=outcome.pack_seconds, write_seconds=write_seconds,
-            sequence=sequence,
-            alerts=(len(outcome.alerts) if outcome.alerts is not None
-                    else None),
-            shards=outcome.shards, replicas=outcome.replicas)
-        self._flush_index += 1
-        self.reports.append(report)
-        self.total_rows += report.rows
-        self.total_cells += report.cells
-        if span is not None:
-            registry = TELEMETRY.registry
-            name = self.backend.name
-            registry.counter("ingest_rows_total", backend=name).inc(report.rows)
-            registry.counter("ingest_cells_total",
-                             backend=name).inc(report.cells)
-            registry.counter("ingest_flushes_total", backend=name,
-                             trigger=trigger).inc()
-            registry.histogram("ingest_flush_seconds",
-                               backend=name).observe(write_seconds)
-        return report
+                else:
+                    with span:
+                        outcome = self.backend.write(batch)
+            except Exception:
+                self.buffer.append(batch.values, dims=batch.dims,
+                                   timestamps=batch.timestamps)
+                if TELEMETRY.enabled:
+                    TELEMETRY.registry.counter(
+                        "ingest_write_errors_total",
+                        backend=self.backend.name).inc()
+                raise
+            write_seconds = time.perf_counter() - start
+            report = IngestReport(
+                backend=self.backend.name, flush_index=self._flush_index,
+                rows=batch.rows, cells=outcome.cells, trigger=trigger,
+                route_seconds=outcome.route_seconds,
+                pack_seconds=outcome.pack_seconds, write_seconds=write_seconds,
+                sequence=sequence,
+                alerts=(len(outcome.alerts) if outcome.alerts is not None
+                        else None),
+                shards=outcome.shards, replicas=outcome.replicas)
+            self._flush_index += 1
+            self.reports.append(report)
+            self.total_rows += report.rows
+            self.total_cells += report.cells
+            if span is not None:
+                registry = TELEMETRY.registry
+                name = self.backend.name
+                registry.counter("ingest_rows_total", backend=name).inc(report.rows)
+                registry.counter("ingest_cells_total",
+                                 backend=name).inc(report.cells)
+                registry.counter("ingest_flushes_total", backend=name,
+                                 trigger=trigger).inc()
+                registry.histogram("ingest_flush_seconds",
+                                   backend=name).observe(write_seconds)
+            return report
 
     def close(self) -> IngestReport | None:
         """Flush any pending rows and seal the session against appends."""
-        report = self.flush(trigger="close") if not self.closed else None
-        self.closed = True
-        return report
+        with self._lock:
+            report = self.flush(trigger="close") if not self.closed else None
+            self.closed = True
+            return report
 
     def __enter__(self) -> "IngestSession":
         return self
@@ -264,8 +277,9 @@ class IngestSession:
         visible; fan-out sessions register every child under its name.
         """
         from ..api import QueryService
-        if not self.closed:
-            self.flush()
+        with self._lock:
+            if not self.closed:
+                self.flush()
         service = QueryService(config=config)
         for name, target in self.backend.read_targets().items():
             service.register(name, target)
@@ -276,10 +290,12 @@ class IngestSession:
         return self.query_service().execute(spec, backend=backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "closed" if self.closed else f"{self.buffer.rows} pending"
-        return (f"IngestSession(backend={self.backend.name!r}, "
-                f"flushes={len(self.reports)}, rows={self.total_rows}, "
-                f"{state})")
+        with self._lock:
+            state = ("closed" if self.closed
+                     else f"{self.buffer.rows} pending")
+            return (f"IngestSession(backend={self.backend.name!r}, "
+                    f"flushes={len(self.reports)}, rows={self.total_rows}, "
+                    f"{state})")
 
 
 # ----------------------------------------------------------------------

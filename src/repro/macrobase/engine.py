@@ -27,6 +27,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.cascade import CascadeStats, ThresholdCascade
+from ..core.errors import QueryError
 from ..core.sketch import MomentsSketch, merge_all
 from ..core.quantile import safe_estimate_quantiles
 from ..core.solver import SolverConfig
@@ -133,8 +134,9 @@ class MacroBaseEngine:
         """
         group_phi = 1.0 - rate_multiplier * (1.0 - outlier_phi)
         if not 0.0 < group_phi < 1.0:
-            raise ValueError(
-                f"rate multiplier {rate_multiplier} out of range for phi={outlier_phi}")
+            raise QueryError(
+                f"rate multiplier {rate_multiplier} out of range for "
+                f"phi={outlier_phi}")
         threshold, global_merge_seconds, _ = self.global_quantile(outlier_phi)
 
         start = time.perf_counter()

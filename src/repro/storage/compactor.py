@@ -84,6 +84,9 @@ class Compactor:
         self.store = store
         self.policy = policy or CompactionPolicy()
         self.interval = float(interval)
+        #: Guards rounds and _thread: the daemon loop and the owning
+        #: thread both touch them.
+        self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self.rounds = 0
@@ -94,7 +97,8 @@ class Compactor:
         if run is None:
             return None
         outcome = self.store.compact_run(*run)
-        self.rounds += 1
+        with self._lock:
+            self.rounds += 1
         return outcome
 
     def run_until_stable(self, max_rounds: int = 64) -> list[dict]:
@@ -110,12 +114,14 @@ class Compactor:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        if self._thread is not None:
-            return
-        self._stop.clear()
-        self._thread = threading.Thread(target=self._loop,
-                                        name="repro-compactor", daemon=True)
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            thread = threading.Thread(target=self._loop,
+                                      name="repro-compactor", daemon=True)
+            self._thread = thread
+        thread.start()
 
     def _loop(self) -> None:
         while not self._stop.is_set():
@@ -123,11 +129,13 @@ class Compactor:
                 self._stop.wait(self.interval)
 
     def stop(self, timeout: float = 5.0) -> None:
-        if self._thread is None:
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is None:
             return
         self._stop.set()
-        self._thread.join(timeout=timeout)
-        self._thread = None
+        # Join outside the lock so the loop is never blocked against us.
+        thread.join(timeout=timeout)
 
     def __enter__(self) -> "Compactor":
         self.start()

@@ -157,7 +157,7 @@ class TieredStore:
                     or (_SEGMENT_NAME.match(path.name)
                         and path.name not in live):
                 path.unlink()
-        self._rebuild_index()
+        self._rebuild_index_locked()
         for seg in self.segments:
             for key, stamp in zip(seg.keys, seg.first_seen):
                 known = self._seen.get(key)
@@ -168,7 +168,7 @@ class TieredStore:
             (int(_SEGMENT_NAME.match(name).group(1))
              for name in live if _SEGMENT_NAME.match(name)), default=-1) + 1
 
-    def _rebuild_index(self) -> None:
+    def _rebuild_index_locked(self) -> None:
         """Newest-version-wins key index (age order, later overwrites)."""
         self._index.clear()
         for position, seg in enumerate(self.segments):
@@ -179,7 +179,7 @@ class TieredStore:
     # Write path (the RMW hot tier)
     # ------------------------------------------------------------------
 
-    def _ensure_hot_row(self, key: tuple) -> int:
+    def _ensure_hot_row_locked(self, key: tuple) -> int:
         """The key's live accumulator row, fetching sealed state if any.
 
         The fetch is an exact float64 copy of the newest sealed version,
@@ -224,7 +224,7 @@ class TieredStore:
                 if dim_columns:
                     raise StorageError(
                         "this store has no dimensions; drop the columns")
-                row = self._ensure_hot_row(())
+                row = self._ensure_hot_row_locked(())
                 self.hot.accumulate_row(row, values)
                 cells = 1
             else:
@@ -240,14 +240,14 @@ class TieredStore:
                 for i, group_start in enumerate(starts):
                     key = canonical_key(
                         tuple(col[group_start] for col in sorted_cols))
-                    group_rows[i] = self._ensure_hot_row(key)
+                    group_rows[i] = self._ensure_hot_row_locked(key)
                 self.hot.batch_accumulate(np.repeat(group_rows, sizes),
                                           sorted_values)
                 cells = int(starts.size)
             self.epoch += 1
-            self._maybe_seal()
+            self._maybe_seal_locked()
             if TELEMETRY.enabled:
-                self._publish_gauges()
+                self._publish_gauges_locked()
             return cells
 
     def ingest_values(self, values) -> int:
@@ -258,12 +258,12 @@ class TieredStore:
     # Sealing
     # ------------------------------------------------------------------
 
-    def _maybe_seal(self) -> str | None:
+    def _maybe_seal_locked(self) -> str | None:
         if self.hot.size_bytes() >= self.hot_budget_bytes:
             return self.seal()
         return None
 
-    def _write_new_segment(self, store: PackedSketchStore, keys, seen,
+    def _write_new_segment_locked(self, store: PackedSketchStore, keys, seen,
                            cold: ColdSpec | None) -> str:
         """Write + fsync a content-named segment file (not yet committed)."""
         blob = build_segment_bytes(store, keys, seen, cold=cold)
@@ -293,7 +293,7 @@ class TieredStore:
                     if TELEMETRY.enabled else None)
             with span if span is not None else _NULL_CM:
                 seen = [self._seen[key] for key in self._hot_keys]
-                name = self._write_new_segment(self.hot, self._hot_keys, seen,
+                name = self._write_new_segment_locked(self.hot, self._hot_keys, seen,
                                                cold=None)
                 self.manifest.commit(tuple(self.manifest.segments) + (name,))
                 seg = open_segment(self.directory / name, verify=False)
@@ -312,7 +312,7 @@ class TieredStore:
                     TELEMETRY.registry.counter(
                         "storage_seals_total",
                         store=self.directory.name).inc()
-                    self._publish_gauges()
+                    self._publish_gauges_locked()
             return name
 
     # ------------------------------------------------------------------
@@ -325,7 +325,8 @@ class TieredStore:
             return sorted(self._seen, key=self._seen.get)
 
     def __len__(self) -> int:
-        return len(self._seen)
+        with self._lock:
+            return len(self._seen)
 
     def gather(self, keys=None) -> tuple[PackedSketchStore, list[tuple]]:
         """Materialize newest versions as one RAM store, first-seen order.
@@ -456,7 +457,7 @@ class TieredStore:
                 if all(seg.kind == KIND_COLD for seg in chosen):
                     cold = chosen[-1].codec
                 seen = [self._seen[key] for key in keys]
-                name = self._write_new_segment(merged, keys, seen, cold=cold)
+                name = self._write_new_segment_locked(merged, keys, seen, cold=cold)
                 live = list(self.manifest.segments)
                 replaced = live[start:stop]
                 live[start:stop] = [name]
@@ -466,7 +467,7 @@ class TieredStore:
                     seg.path.unlink()
                 self.segments[start:stop] = [
                     open_segment(self.directory / name, verify=False)]
-                self._rebuild_index()
+                self._rebuild_index_locked()
                 self.stats_counters["compactions"] += 1
                 self.epoch += 1
                 rows_in = sum(seg.rows for seg in chosen)
@@ -480,7 +481,7 @@ class TieredStore:
                     registry.counter("storage_reclaimed_rows_total",
                                      store=self.directory.name
                                      ).inc(rows_in - len(keys))
-                    self._publish_gauges()
+                    self._publish_gauges_locked()
                 return {"replaced": replaced, "created": name,
                         "rows_in": rows_in, "rows_out": len(keys),
                         "reclaimed_rows": rows_in - len(keys),
@@ -517,7 +518,7 @@ class TieredStore:
                         staged.new_row()
                     rows = list(range(seg.rows))
                     self._copy_rows(staged, rows, seg, rows)
-                    name = self._write_new_segment(staged, seg.keys,
+                    name = self._write_new_segment_locked(staged, seg.keys,
                                                    seg.first_seen, cold=spec)
                     live = list(self.manifest.segments)
                     live[position] = name
@@ -528,7 +529,7 @@ class TieredStore:
                         self.directory / name, verify=False)
                     created.append(name)
                 if created:
-                    self._rebuild_index()
+                    self._rebuild_index_locked()
                     self.stats_counters["demotions"] += len(created)
                     self.epoch += 1
                 if span is not None:
@@ -536,7 +537,7 @@ class TieredStore:
                     TELEMETRY.registry.counter(
                         "storage_demotions_total",
                         store=self.directory.name).inc(len(created))
-                    self._publish_gauges()
+                    self._publish_gauges_locked()
             return created
 
     # ------------------------------------------------------------------
@@ -547,9 +548,11 @@ class TieredStore:
         with self._lock:
             return sum(seg.size_bytes for seg in self.segments)
 
-    def _publish_gauges(self) -> None:
+    def _publish_gauges_locked(self) -> None:
         """Push tier sizes, hot-budget occupancy, and compaction debt
         into the telemetry registry (caller holds the lock)."""
+        if not TELEMETRY.enabled:
+            return
         registry = TELEMETRY.registry
         store = self.directory.name
         warm = cold = stored_rows = 0
@@ -612,5 +615,6 @@ class TieredStore:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"TieredStore({str(self.directory)!r}, keys={len(self)}, "
-                f"segments={len(self.segments)}, hot={len(self.hot)})")
+        with self._lock:
+            return (f"TieredStore({str(self.directory)!r}, keys={len(self)}, "
+                    f"segments={len(self.segments)}, hot={len(self.hot)})")

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import json
 import re
-from typing import List, Mapping, Union
+from typing import Dict, Iterable, List, Mapping, Set, Tuple, Union
 
+from ..core.errors import TelemetryError
 from .metrics import LogHistogram, MetricsRegistry
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -28,8 +29,13 @@ def _prom_name(name: str) -> str:
     return _NAME_RE.sub("_", f"repro_{name}")
 
 
-def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, object] = ()) -> str:
-    pairs = sorted(dict(labels, **dict(extra)).items())
+def _prom_labels(
+    labels: Mapping[str, str],
+    extra: Union[Mapping[str, object], Iterable[Tuple[str, object]]] = (),
+) -> str:
+    merged: Dict[str, object] = dict(labels)
+    merged.update(dict(extra))
+    pairs = sorted(merged.items())
     if not pairs:
         return ""
     body = ",".join(f'{_NAME_RE.sub("_", k)}="{v}"' for k, v in pairs)
@@ -45,7 +51,7 @@ def render_prometheus(registry: Union[MetricsRegistry, Mapping]) -> str:
     """
     payload = _coerce(registry)
     lines: List[str] = []
-    typed = set()
+    typed: Set[str] = set()
 
     def _type_line(name: str, kind: str) -> None:
         if name not in typed:
@@ -91,7 +97,8 @@ def load_metrics(path: str) -> dict:
             snap = run.get("telemetry")
             if snap and "metrics" in snap:
                 return snap["metrics"]
-        raise ValueError(f"no run in {path} carries a telemetry snapshot")
+        raise TelemetryError(
+            f"no run in {path} carries a telemetry snapshot")
     if "metrics" in doc and "counters" not in doc:
         return doc["metrics"]
     return doc

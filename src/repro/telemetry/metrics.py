@@ -22,7 +22,9 @@ from __future__ import annotations
 import math
 import struct
 import threading
-from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..core.errors import TelemetryError
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
 
 DEFAULT_SUBBUCKETS = 8
 
@@ -39,9 +41,9 @@ class LogHistogram:
 
     __slots__ = ("subbuckets", "zeros", "min", "max", "_pos", "_neg", "_lock")
 
-    def __init__(self, subbuckets: int = DEFAULT_SUBBUCKETS):
+    def __init__(self, subbuckets: int = DEFAULT_SUBBUCKETS) -> None:
         if not 1 <= int(subbuckets) <= 255:
-            raise ValueError("subbuckets must be in [1, 255]")
+            raise TelemetryError("subbuckets must be in [1, 255]")
         self.subbuckets = int(subbuckets)
         self.zeros = 0
         self.min = math.inf
@@ -58,7 +60,7 @@ class LogHistogram:
     def observe(self, value: float) -> None:
         value = float(value)
         if not math.isfinite(value):
-            raise ValueError(f"cannot observe non-finite value {value!r}")
+            raise TelemetryError(f"cannot observe non-finite value {value!r}")
         with self._lock:
             if value < self.min:
                 self.min = value
@@ -81,7 +83,9 @@ class LogHistogram:
 
     @property
     def count(self) -> int:
-        return self.zeros + sum(self._pos.values()) + sum(self._neg.values())
+        with self._lock:
+            return (self.zeros + sum(self._pos.values())
+                    + sum(self._neg.values()))
 
     @property
     def relative_error_bound(self) -> float:
@@ -90,28 +94,29 @@ class LogHistogram:
 
     def state(self) -> tuple:
         """Canonical comparable state (used by tests and __eq__)."""
-        return (
-            self.subbuckets,
-            self.zeros,
-            self.min,
-            self.max,
-            tuple(sorted(self._pos.items())),
-            tuple(sorted(self._neg.items())),
-        )
+        with self._lock:
+            return (
+                self.subbuckets,
+                self.zeros,
+                self.min,
+                self.max,
+                tuple(sorted(self._pos.items())),
+                tuple(sorted(self._neg.items())),
+            )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LogHistogram):
             return NotImplemented
         return self.state() == other.state()
 
-    def __hash__(self):  # mutable; identity hash like list would refuse
+    def __hash__(self) -> int:  # mutable; identity hash like list would refuse
         raise TypeError("LogHistogram is unhashable")
 
     # -- merging -----------------------------------------------------
 
     def merge(self, other: "LogHistogram") -> "LogHistogram":
         if other.subbuckets != self.subbuckets:
-            raise ValueError(
+            raise TelemetryError(
                 f"cannot merge histograms with different layouts "
                 f"(S={self.subbuckets} vs S={other.subbuckets})"
             )
@@ -151,7 +156,7 @@ class LogHistogram:
     def from_partial(cls, blob: bytes) -> "LogHistogram":
         magic, sub, n_pos, n_neg, zeros, mn, mx = _HEADER.unpack_from(blob, 0)
         if magic != _MAGIC:
-            raise ValueError("bad histogram partial magic")
+            raise TelemetryError("bad histogram partial magic")
         hist = cls(subbuckets=sub)
         hist.zeros = zeros
         hist.min = mn
@@ -179,9 +184,10 @@ class LogHistogram:
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile (q in [0, 1]) from bucket midpoints."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
+            raise TelemetryError("q must be in [0, 1]")
         with self._lock:
-            total = self.zeros + sum(self._pos.values()) + sum(self._neg.values())
+            total = (self.zeros + sum(self._pos.values())
+                     + sum(self._neg.values()))
             if total == 0:
                 return math.nan
             rank = max(1, math.ceil(q * total))
@@ -191,17 +197,17 @@ class LogHistogram:
             for i in sorted(self._neg, reverse=True):
                 seen += self._neg[i]
                 if seen >= rank:
-                    return self._clamp(self._bucket_value(i, -1))
+                    return self._clamp_locked(self._bucket_value(i, -1))
             seen += self.zeros
             if seen >= rank:
-                return self._clamp(0.0)
+                return self._clamp_locked(0.0)
             for i in sorted(self._pos):
                 seen += self._pos[i]
                 if seen >= rank:
-                    return self._clamp(self._bucket_value(i, +1))
-        return self.max  # pragma: no cover - rank <= total always lands
+                    return self._clamp_locked(self._bucket_value(i, +1))
+            return self.max  # pragma: no cover - rank <= total always lands
 
-    def _clamp(self, value: float) -> float:
+    def _clamp_locked(self, value: float) -> float:
         return min(max(value, self.min), self.max)
 
     def quantiles(self, qs: Iterable[float]) -> List[float]:
@@ -249,13 +255,13 @@ class Counter:
 
     __slots__ = ("value", "_lock")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.value = 0
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
-            raise ValueError("counters only go up")
+            raise TelemetryError("counters only go up")
         with self._lock:
             self.value += amount
 
@@ -265,7 +271,7 @@ class Gauge:
 
     __slots__ = ("value", "_lock")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.value = 0.0
         self._lock = threading.Lock()
 
@@ -293,13 +299,16 @@ class MetricsRegistry:
     same way it folds sketch partials.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._metrics: Dict[LabelKey, object] = {}
         self._lock = threading.Lock()
 
-    def _get(self, name: str, labels: Mapping[str, object], factory):
+    def _get(self, name: str, labels: Mapping[str, object],
+             factory: Callable[[], object]) -> object:
         key = _key(name, labels)
-        metric = self._metrics.get(key)
+        # Double-checked fast path: dict reads are atomic under the GIL
+        # and metrics are never removed, so a hit needs no lock.
+        metric = self._metrics.get(key)  # repro: noqa[LOCK001]
         if metric is None:
             with self._lock:
                 metric = self._metrics.get(key)
@@ -308,20 +317,20 @@ class MetricsRegistry:
                     self._metrics[key] = metric
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         metric = self._get(name, labels, Counter)
         if not isinstance(metric, Counter):
             raise TypeError(f"{name} already registered as {type(metric).__name__}")
         return metric
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         metric = self._get(name, labels, Gauge)
         if not isinstance(metric, Gauge):
             raise TypeError(f"{name} already registered as {type(metric).__name__}")
         return metric
 
     def histogram(self, name: str, subbuckets: int = DEFAULT_SUBBUCKETS,
-                  **labels) -> LogHistogram:
+                  **labels: object) -> LogHistogram:
         metric = self._get(name, labels, lambda: LogHistogram(subbuckets))
         if not isinstance(metric, LogHistogram):
             raise TypeError(f"{name} already registered as {type(metric).__name__}")
@@ -334,7 +343,8 @@ class MetricsRegistry:
         return [(name, dict(labels), metric) for (name, labels), metric in snap]
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         for name, labels, metric in other.items():
@@ -348,9 +358,10 @@ class MetricsRegistry:
         return self
 
     def to_dict(self) -> dict:
-        out = {"counters": [], "gauges": [], "histograms": []}
+        out: Dict[str, List[dict]] = {"counters": [], "gauges": [],
+                                      "histograms": []}
         for name, labels, metric in self.items():
-            entry = {"name": name, "labels": labels}
+            entry: dict = {"name": name, "labels": labels}
             if isinstance(metric, Counter):
                 entry["value"] = metric.value
                 out["counters"].append(entry)

@@ -17,7 +17,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from .metrics import MetricsRegistry
 from .slowlog import SlowQueryLog
@@ -27,7 +27,7 @@ from .trace import DEFAULT_RING_CAPACITY, Tracer
 class TelemetryRuntime:
     """Holds the tracer, metrics registry, and slow-query log."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.enabled = False
         self.tracer = Tracer()
         self.registry = MetricsRegistry()
@@ -72,7 +72,7 @@ class TelemetryRuntime:
 TELEMETRY = TelemetryRuntime()
 
 
-def enable(**kwargs) -> TelemetryRuntime:
+def enable(**kwargs: Any) -> TelemetryRuntime:
     return TELEMETRY.enable(**kwargs)
 
 

@@ -20,7 +20,7 @@ class SlowQueryLog:
     """
 
     def __init__(self, threshold_seconds: Optional[float] = None,
-                 capacity: int = DEFAULT_CAPACITY):
+                 capacity: int = DEFAULT_CAPACITY) -> None:
         self.threshold_seconds = threshold_seconds
         self._entries: deque = deque(maxlen=capacity)
         self._lock = threading.Lock()

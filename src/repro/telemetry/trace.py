@@ -27,7 +27,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 DEFAULT_RING_CAPACITY = 8192
 
@@ -62,8 +62,8 @@ class Span:
                  "payload", "_token")
 
     def __init__(self, tracer: "Tracer", name: str, trace_id: str,
-                 parent_id: Optional[str], attributes: dict,
-                 detached: bool = False):
+                 parent_id: Optional[str], attributes: Dict[str, Any],
+                 detached: bool = False) -> None:
         self.tracer = tracer
         self.name = name
         self.trace_id = trace_id
@@ -77,16 +77,16 @@ class Span:
         self.duration_seconds: Optional[float] = None
         self.detached = detached
         self.payload: Optional[dict] = None
-        self._token = None
+        self._token: Optional[contextvars.Token] = None
 
     @property
     def context(self) -> SpanContext:
         return SpanContext(self.trace_id, self.span_id)
 
-    def set_attribute(self, key: str, value) -> None:
+    def set_attribute(self, key: str, value: Any) -> None:
         self.attributes[key] = value
 
-    def add_event(self, name: str, **attributes) -> None:
+    def add_event(self, name: str, **attributes: Any) -> None:
         event = {"name": name,
                  "offset_seconds": time.perf_counter() - self.start_monotonic}
         if attributes:
@@ -94,14 +94,16 @@ class Span:
         self.events.append(event)
 
     def end(self, duration_seconds: Optional[float] = None) -> dict:
-        if self.duration_seconds is None:
+        payload = self.payload
+        if payload is None:
             self.duration_seconds = (duration_seconds
                                      if duration_seconds is not None
                                      else time.perf_counter() - self.start_monotonic)
-            self.payload = self.to_dict()
+            payload = self.to_dict()
+            self.payload = payload
             if not self.detached:
-                self.tracer._record(self.payload)
-        return self.payload
+                self.tracer._record(payload)
+        return payload
 
     def to_dict(self) -> dict:
         return {
@@ -122,7 +124,8 @@ class Span:
             self._token = self.tracer._current.set(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Optional[type],
+                 exc: Optional[BaseException], tb: object) -> bool:
         if exc_type is not None:
             self.status = "error"
             self.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
@@ -136,11 +139,11 @@ class Span:
 class Tracer:
     """Creates spans and collects finished ones in a bounded ring."""
 
-    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
         self._ring: deque = deque(maxlen=capacity)
         self._lock = threading.Lock()
-        self._current = contextvars.ContextVar("repro_current_span",
-                                               default=None)
+        self._current: contextvars.ContextVar[Optional[Span]] = \
+            contextvars.ContextVar("repro_current_span", default=None)
         self.spans_recorded = 0
         self.spans_dropped = 0
 
@@ -154,14 +157,14 @@ class Tracer:
         return span.context if span is not None else None
 
     def span(self, name: str, parent: Union[str, ParentLike] = "current",
-             detached: bool = False, **attributes) -> Span:
+             detached: bool = False, **attributes: Any) -> Span:
         """Create a span.
 
         ``parent="current"`` (default) parents to the active span of this
         thread/context; pass an explicit Span/SpanContext when crossing a
         thread pool, or ``None`` to force a new root trace.
         """
-        ctx = (self.current_context() if parent == "current"
+        ctx = (self.current_context() if isinstance(parent, str)
                else _parent_context(parent))
         trace_id = ctx.trace_id if ctx is not None else _new_id(16)
         parent_id = ctx.span_id if ctx is not None else None
@@ -171,7 +174,7 @@ class Tracer:
     def record(self, name: str, duration_seconds: float,
                parent: Union[str, ParentLike] = "current",
                start_monotonic: Optional[float] = None,
-               **attributes) -> dict:
+               **attributes: Any) -> dict:
         """Record an already-measured span with an explicit duration.
 
         Used for phase spans whose durations must equal the values
@@ -232,14 +235,14 @@ def build_trace_tree(spans: List[Mapping]) -> List[dict]:
         node = dict(span)
         node["children"] = []
         by_id[node["span_id"]] = node
-    roots = []
+    roots: List[dict] = []
     for node in by_id.values():
         parent = by_id.get(node.get("parent_id"))
         if parent is not None:
             parent["children"].append(node)
         else:
             roots.append(node)
-    def _sort(nodes):
+    def _sort(nodes: List[dict]) -> None:
         nodes.sort(key=lambda n: (n.get("start_unix") or 0, n["span_id"]))
         for n in nodes:
             _sort(n["children"])

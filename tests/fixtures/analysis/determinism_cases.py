@@ -1,0 +1,25 @@
+"""Determinism fixtures: the test config tags this module as
+merge-order sensitive."""
+
+
+def iterate_set(items):
+    for item in {"a", "b"}:             # DET001 (line 6)
+        print(item)
+    for item in sorted({"a", "b"}):     # ok: sorted wrapper
+        print(item)
+
+
+def iterate_keys(mapping):
+    return [k for k in mapping.keys()]  # DET002 (line 13)
+
+
+def iterate_items(mapping):
+    return [v for _, v in mapping.items()]  # ok: .items() is exempt
+
+
+def float_total(latency_seconds):
+    return sum(latency_seconds)         # DET003 (line 21)
+
+
+def int_total(counts):
+    return sum(counts)                  # ok: no float-hinted identifier

@@ -1,0 +1,34 @@
+"""Lock-discipline fixtures.
+
+The test config declares ``Account.balance`` and ``Account.history`` as
+GUARDED_BY ``self._lock``.  Each method below is either a passing or a
+failing case; tests/test_analysis.py asserts the exact findings.
+"""
+
+import threading
+
+
+class Account:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.balance = 0          # ok: __init__ implicitly holds the lock
+        self.history = []         # ok: __init__ implicitly holds the lock
+
+    def deposit(self, amount):
+        with self._lock:
+            self.balance += amount          # ok: guarded
+            self._append_locked(amount)     # ok: caller holds the lock
+
+    def peek(self):
+        return self.balance                 # LOCK001 (line 23)
+
+    def drain(self, pool):
+        with self._lock:
+            amount = self.balance           # ok: guarded
+        pool.submit(lambda: self.history.append(amount))  # LOCK001 (line 28)
+
+    def bad_helper_call(self):
+        self._append_locked(1)              # LOCK002 (line 31)
+
+    def _append_locked(self, amount):
+        self.history.append(amount)         # ok: _locked-suffix convention

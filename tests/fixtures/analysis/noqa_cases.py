@@ -1,0 +1,25 @@
+"""Suppression fixtures: line-level, bare, mismatched, and
+function-level ``# repro: noqa`` comments (module tagged
+merge-order sensitive by the test config)."""
+
+
+def line_level():
+    for item in {"a", "b"}:  # repro: noqa[DET001]
+        print(item)
+
+
+def bare_noqa():
+    for item in {"a", "b"}:  # repro: noqa
+        print(item)
+
+
+def wrong_rule():
+    for item in {"a", "b"}:  # repro: noqa[DET002]
+        print(item)          # the DET001 above is NOT suppressed
+
+
+def function_level():  # repro: noqa[DET001]
+    for item in {"a", "b"}:
+        print(item)
+    for item in {"c", "d"}:
+        print(item)

@@ -1,0 +1,49 @@
+"""Telemetry-guard fixtures: data-plane calls vs the TELEMETRY.enabled
+dominance rule, and span-lifecycle discipline."""
+
+from repro.telemetry import TELEMETRY
+
+
+def unguarded(n):
+    TELEMETRY.registry.counter("queries").inc(n)       # TEL001 (line 8)
+
+
+def guarded(n):
+    if TELEMETRY.enabled:
+        TELEMETRY.registry.counter("queries").inc(n)   # ok: dominated
+
+
+def early_return(n):
+    if not TELEMETRY.enabled:
+        return
+    TELEMETRY.registry.counter("queries").inc(n)       # ok: early return
+
+
+def aliased_guard(n):
+    telemetry_on = TELEMETRY.enabled
+    if telemetry_on:
+        TELEMETRY.registry.counter("queries").inc(n)   # ok: alias guard
+
+
+def manual_span():
+    if TELEMETRY.enabled:
+        span = TELEMETRY.tracer.span("work")
+        span.end()                                     # TEL002 (line 31)
+
+
+def discarded_span():
+    if TELEMETRY.enabled:
+        TELEMETRY.tracer.span("work")                  # TEL002 (line 36)
+
+
+def context_span():
+    if TELEMETRY.enabled:
+        with TELEMETRY.tracer.span("work"):            # ok: context manager
+            pass
+
+
+def detached_span():
+    if TELEMETRY.enabled:
+        span = TELEMETRY.tracer.span("work", detached=True)
+        return span.end()                              # ok: detached payload
+    return None

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.errors import QueryError
 from repro.macrobase import (
     MacroBaseEngine,
     MomentsCube,
@@ -66,7 +67,7 @@ class TestMacroBaseQuery:
     def test_invalid_rate_multiplier(self, anomalous_workload):
         dims, values = anomalous_workload
         engine = MacroBaseEngine(MomentsCube.build(dims, values, k=10))
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             engine.find_outlier_groups(outlier_phi=0.99, rate_multiplier=200.0)
 
     def test_cascade_lesion_same_answers(self, anomalous_workload):
