@@ -9,15 +9,19 @@
 # scalar path), a tiered store whose compaction is not bit-exact /
 # whose cold tier misses the 4x disk reduction or the cold-latency
 # ceiling, a telemetry overhead gate (disabled-mode guard cost <= 3%,
-# enabled-mode tracing + metrics <= 10% of query latency), and a
-# workload-harness smoke (cube + cluster, sqlite exact oracle) that
-# fails on any Eq. 1 rank-error contract violation.
+# enabled-mode tracing + metrics <= 10% of query latency), a
+# multi-query-optimizer gate (>=3x on a Zipf-skewed repeated workload
+# with interleaved flushes, payloads bit-identical to cold execution),
+# and a workload-harness smoke (cube + cluster, sqlite exact oracle,
+# optimizer enabled) that fails on any Eq. 1 rank-error contract
+# violation.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint bench-merge bench-batch bench-cluster bench-ingest \
-	bench-solve bench-tiered bench-telemetry bench-harness bench
+	bench-solve bench-tiered bench-telemetry bench-optimizer \
+	bench-harness bench
 
 # Static analysis gate: the repo-invariant analyzers (lock discipline,
 # determinism, telemetry guards, API hygiene) against the committed
@@ -42,6 +46,7 @@ test:
 	$(PYTHON) benchmarks/bench_group_solve.py --quick
 	$(PYTHON) benchmarks/bench_tiered.py --quick
 	$(PYTHON) benchmarks/bench_telemetry.py --quick
+	$(PYTHON) benchmarks/bench_optimizer.py --quick
 	$(PYTHON) -m repro.cli harness run --spec examples/harness_smoke.json \
 		--out BENCH_harness.json --check
 
@@ -65,6 +70,9 @@ bench-tiered:
 
 bench-telemetry:
 	$(PYTHON) benchmarks/bench_telemetry.py
+
+bench-optimizer:
+	$(PYTHON) benchmarks/bench_optimizer.py --advice-out advisor.json
 
 # Full workload-harness experiment (longer than the smoke in `test`):
 # the paced 10-second mixed cube-vs-cluster run from the examples.

@@ -103,6 +103,20 @@ DEFAULT_GUARDED_BY: Dict[str, Dict[str, LockSpec]] = {
     "repro/telemetry/slowlog.py": {
         "SlowQueryLog": _lock("_entries", "captured"),
     },
+    "repro/optimizer/epochs.py": {
+        "FlushEpochs": _lock("_next_token", "_tokens", "_refs", "_pins",
+                             "_epochs", "_shard_epochs"),
+    },
+    "repro/optimizer/cache.py": {
+        "MergeCache": _lock("_entries", "bytes_used", "hits", "misses",
+                            "evictions", "stale_drops"),
+    },
+    "repro/optimizer/advisor.py": {
+        "WorkloadProfile": _lock("_scans"),
+    },
+    "repro/optimizer/planner.py": {
+        "Optimizer": _lock("_materialized"),
+    },
 }
 
 #: Merge-order-sensitive modules: folds here feed bit-exact contracts.
@@ -111,6 +125,7 @@ DEFAULT_DETERMINISM_MODULES: Tuple[str, ...] = (
     "repro/cluster/",
     "repro/core/batch_solver.py",
     "repro/telemetry/metrics.py",
+    "repro/optimizer/",
 )
 
 #: Packages whose public entry points must raise the errors taxonomy.
@@ -124,6 +139,7 @@ DEFAULT_ERROR_TAXONOMY_MODULES: Tuple[str, ...] = (
     "repro/datacube/",
     "repro/druid/",
     "repro/analysis/",
+    "repro/optimizer/",
 )
 
 DEFAULT_CONFIG = AnalysisConfig(

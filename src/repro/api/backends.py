@@ -114,6 +114,16 @@ class Backend(abc.ABC):
     def windowed(self, spec: QuerySpec) -> WindowedResult:
         raise QueryError(f"backend {self.name!r} cannot run windowed queries")
 
+    def cache_target(self):
+        """The engine object whose flush epoch invalidates this backend.
+
+        Adapters are cheap wrappers that may be rebuilt per query (the
+        harness re-registers them after every flush), so the optimizer's
+        caches key on the long-lived engine underneath, not the adapter.
+        Subclasses wrapping an inner engine must override this.
+        """
+        return self
+
 
 def _timed_fold(summaries: Sequence) -> tuple[object, float]:
     """Left-fold merge with timing; the object-per-cell baseline plan."""
@@ -135,6 +145,9 @@ class CubeBackend(Backend):
 
     def __init__(self, cube: DataCube):
         self.cube = cube
+
+    def cache_target(self):
+        return self.cube
 
     @property
     def supports_packed(self) -> bool:  # type: ignore[override]
@@ -200,6 +213,9 @@ class DruidBackend(Backend):
 
     def __init__(self, engine: DruidEngine):
         self.engine = engine
+
+    def cache_target(self):
+        return self.engine
 
     @property
     def supports_packed(self) -> bool:  # type: ignore[override]
@@ -303,6 +319,9 @@ class PackedStoreBackend(Backend):
                      else np.asarray(rows, dtype=np.intp))
         if self.keys is not None and len(self.keys) != len(store):
             raise QueryError("need one key tuple per store row")
+
+    def cache_target(self):
+        return self.store
 
     def _wrap(self, sketch: MomentsSketch) -> MomentsSummary:
         summary = MomentsSummary(k=self.store.k, track_log=self.store.track_log,

@@ -30,7 +30,7 @@ from ..summaries.moments_summary import MomentsSummary
 from ..telemetry import TELEMETRY
 from .backends import (Backend, GroupRollupResult, RollupResult, as_backend,
                        sketch_of)
-from .planner import QueryPlan, plan
+from .planner import QueryPlan, plan, solve_signature
 from .spec import QueryResponse, QuerySpec, QueryTimings, qkey
 
 
@@ -42,6 +42,9 @@ class BatchReport:
     distinct_scans: int
     shared_hits: int
     merge_calls: int
+    #: Specs served by the cross-batch optimizer (response, partial, or
+    #: materialized-roll-up tier) rather than this batch's own scans.
+    cache_hits: int = 0
 
 
 def _moments_payload(sketch: MomentsSketch) -> dict:
@@ -68,12 +71,20 @@ class QueryService:
     surviving groups instead of one solve per group.  Pass
     ``batched=False`` to A/B the scalar per-group path; the response's
     ``timings.solve_route``/``solve_calls`` report which path ran.
+
+    ``optimizer`` (opt-in) attaches a
+    :class:`~repro.optimizer.Optimizer`: scans and solved responses are
+    then cached *across* batches, invalidated by the flush epochs that
+    :class:`~repro.ingest.IngestSession` advances.  It is never on by
+    default because writes that bypass the ingest layer (direct kernel
+    mutation) would silently serve stale answers.
     """
 
     def __init__(self, *args, config: SolverConfig | None = None,
-                 batched: bool = True, **named):
+                 batched: bool = True, optimizer=None, **named):
         self.config = config or SolverConfig()
         self.batched = bool(batched)
+        self.optimizer = optimizer
         self._backends: dict[str, Backend] = {}
         self._default: str | None = None
         self.last_batch_report: BatchReport | None = None
@@ -100,6 +111,14 @@ class QueryService:
     @property
     def backends(self) -> tuple[str, ...]:
         return tuple(self._backends)
+
+    def backend(self, name: str) -> Backend:
+        """The registered backend adapter for ``name``."""
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise QueryError(f"unknown backend {name!r}; "
+                             f"registered: {sorted(self._backends)}") from None
 
     def _resolve(self, spec: QuerySpec) -> tuple[str, Backend]:
         name = spec.backend or self._default
@@ -147,25 +166,33 @@ class QueryService:
         group_rollups: dict[tuple, GroupRollupResult] = {}
         merge_calls = 0
         shared_hits = 0
+        cache_hits = 0
         for spec in specs:
             run = (self._execute_traced if TELEMETRY.enabled
                    else self._execute_spec)
-            response, shared, merges = run(spec, rollups, group_rollups)
+            response, shared, merges, source = run(spec, rollups,
+                                                   group_rollups)
             shared_hits += shared
+            cache_hits += source in ("response", "partial", "advisor")
             merge_calls += merges
             responses.append(response)
         self.last_batch_report = BatchReport(
             specs=len(specs),
             distinct_scans=len(rollups) + len(group_rollups),
-            shared_hits=shared_hits, merge_calls=merge_calls)
+            shared_hits=shared_hits, merge_calls=merge_calls,
+            cache_hits=cache_hits)
         return responses
 
     def _execute_spec(self, spec: QuerySpec,
                       rollups: dict, group_rollups: dict
-                      ) -> tuple[QueryResponse, bool, int]:
-        """Run one spec against the batch's scan caches.
+                      ) -> tuple[QueryResponse, bool, int, str]:
+        """Run one spec against the batch's (and optimizer's) scan caches.
 
-        Returns ``(response, shared_scan, new_merge_calls)``.
+        Returns ``(response, shared_scan, new_merge_calls, source)``;
+        ``source`` names the tier that served the scan — ``"batch"``
+        (intra-batch sharing), ``"response"``/``"partial"``/``"advisor"``
+        (optimizer tiers), ``"refresh"`` (a stale materialized roll-up
+        re-merged), ``"cold"``, or ``"window"``.
         """
         name, backend = self._resolve(spec)
         start = time.perf_counter()
@@ -173,31 +200,72 @@ class QueryService:
         plan_seconds = time.perf_counter() - start
         if the_plan.mode == "windowed":
             return (self._run_windowed(spec, the_plan, backend, plan_seconds),
-                    False, 0)
+                    False, 0, "window")
         cache = group_rollups if the_plan.mode == "group" else rollups
         shared = the_plan.scan_key in cache
         merges = 0
+        opt = self.optimizer
+        token = epoch = solve_sig = None
         if shared:
             result = cache[the_plan.scan_key]
+            source = "batch"
+        elif opt is not None:
+            token = opt.token(backend)
+            epoch = opt.scan_epoch(backend, spec)
+            # The response tier keys on everything that shapes the
+            # payload: the spec's solve inputs plus the service's own
+            # estimation knobs.
+            solve_sig = solve_signature(spec) + (self.batched, self.config)
+            start = time.perf_counter()
+            hit = opt.cached_response(token, the_plan, solve_sig, epoch)
+            lookup_seconds = time.perf_counter() - start
+            if hit is not None:
+                response = replace(
+                    hit, shared_scan=True,
+                    timings=QueryTimings(
+                        planner_seconds=plan_seconds + lookup_seconds,
+                        solve_route="cached"))
+                return response, True, 0, "response"
+            result, source = opt.lookup_scan(backend, token, the_plan,
+                                             epoch)
+            if result is None:
+                result = (backend.group_rollup(spec)
+                          if the_plan.mode == "group"
+                          else backend.rollup(spec))
+                merges = result.merge_calls
+                opt.store_scan(token, the_plan, epoch, result)
+            elif source == "refresh":
+                merges = result.merge_calls
+            cache[the_plan.scan_key] = result
         else:
+            source = "cold"
             result = (backend.group_rollup(spec)
                       if the_plan.mode == "group"
                       else backend.rollup(spec))
             cache[the_plan.scan_key] = result
             merges = result.merge_calls
+        # A scan served from the cache (or an up-to-date materialized
+        # roll-up) paid a lookup, not the cold scan's locate + merge.
+        hit_scan = source in ("partial", "advisor")
         timings_base = QueryTimings(
-            planner_seconds=plan_seconds + result.planner_seconds,
-            merge_seconds=result.merge_seconds)
+            planner_seconds=(plan_seconds if hit_scan
+                             else plan_seconds + result.planner_seconds),
+            merge_seconds=0.0 if hit_scan else result.merge_seconds)
+        shared_scan = shared or hit_scan
         if the_plan.mode == "group":
-            return (self._finish_group(spec, the_plan, result, timings_base,
-                                       shared), shared, merges)
-        self.last_rollup = result
-        return (self._finish_rollup(spec, the_plan, result, timings_base,
-                                    shared), shared, merges)
+            response = self._finish_group(spec, the_plan, result,
+                                          timings_base, shared_scan)
+        else:
+            self.last_rollup = result
+            response = self._finish_rollup(spec, the_plan, result,
+                                           timings_base, shared_scan)
+        if token is not None:
+            opt.store_response(token, the_plan, solve_sig, epoch, response)
+        return response, shared_scan, merges, source
 
     def _execute_traced(self, spec: QuerySpec,  # repro: noqa[TEL001]
                         rollups: dict, group_rollups: dict
-                        ) -> tuple[QueryResponse, bool, int]:
+                        ) -> tuple[QueryResponse, bool, int, str]:
         """Telemetry wrapper around :meth:`_execute_spec`.
 
         Emits a root ``query`` span (active while backends run, so
@@ -205,14 +273,16 @@ class QueryService:
         durations are copied verbatim from the response's
         :class:`QueryTimings` (the two accountings agree exactly), a
         latency histogram per (backend, kind, route), and scan-signature
-        sharing counters for the future multi-query optimizer.
+        sharing counters labelled by the tier that served the scan —
+        intra-batch (``route="batch"``) and the optimizer's cross-batch
+        tiers (``"response"``/``"partial"``/``"advisor"``) alike.
         """
         tracer = TELEMETRY.tracer
         registry = TELEMETRY.registry
         kind = spec.kind
         try:
             with tracer.span("query", kind=kind) as root:
-                response, shared, merges = self._execute_spec(
+                response, shared, merges, source = self._execute_spec(
                     spec, rollups, group_rollups)
                 root.set_attribute("backend", response.backend)
                 root.set_attribute("route", response.route)
@@ -224,18 +294,24 @@ class QueryService:
             raise
         timings = response.timings
         base = root.start_monotonic
-        tracer.record("query.plan", timings.planner_seconds, parent=root,
-                      start_monotonic=base)
-        tracer.record("query.merge", timings.merge_seconds, parent=root,
-                      start_monotonic=base + timings.planner_seconds,
-                      merges=response.merges,
-                      cells_scanned=response.cells_scanned,
-                      shared_scan=shared)
-        tracer.record("query.solve", timings.solve_seconds, parent=root,
-                      start_monotonic=(base + timings.planner_seconds
-                                       + timings.merge_seconds),
-                      solve_route=timings.solve_route,
-                      solve_calls=timings.solve_calls)
+        if source == "response":
+            # The whole answer came out of the optimizer's response
+            # tier: one cache phase instead of plan/merge/solve.
+            tracer.record("query.cache", timings.planner_seconds,
+                          parent=root, start_monotonic=base, tier=source)
+        else:
+            tracer.record("query.plan", timings.planner_seconds, parent=root,
+                          start_monotonic=base)
+            tracer.record("query.merge", timings.merge_seconds, parent=root,
+                          start_monotonic=base + timings.planner_seconds,
+                          merges=response.merges,
+                          cells_scanned=response.cells_scanned,
+                          shared_scan=shared)
+            tracer.record("query.solve", timings.solve_seconds, parent=root,
+                          start_monotonic=(base + timings.planner_seconds
+                                           + timings.merge_seconds),
+                          solve_route=timings.solve_route,
+                          solve_calls=timings.solve_calls)
         backend_name = response.backend
         registry.histogram("query_seconds", backend=backend_name, kind=kind,
                            route=response.route).observe(root.duration_seconds)
@@ -244,9 +320,9 @@ class QueryService:
         registry.counter(
             "scan_signature_hits_total" if shared
             else "scan_signature_misses_total",
-            backend=backend_name).inc()
+            backend=backend_name, route=source).inc()
         TELEMETRY.slow_queries.consider(root.payload, tracer)
-        return response, shared, merges
+        return response, shared, merges, source
 
     # ------------------------------------------------------------------
     # Roll-up kinds

@@ -297,8 +297,10 @@ class QueryTimings:
     ``solve_route`` records which estimation path ran the solve phase —
     ``"batched"`` (one stacked max-entropy solve across all groups),
     ``"scalar"`` (one solve per group, and all single-summary solves),
-    ``"bounds"`` (closed-form RTT/Markov bounds, the ``cdf`` kind), or
-    ``"window"`` (per-window sliding scans) — and ``solve_calls`` how
+    ``"bounds"`` (closed-form RTT/Markov bounds, the ``cdf`` kind),
+    ``"window"`` (per-window sliding scans), or ``"cached"`` (no solve
+    ran at all: the multi-query optimizer served a previously solved
+    response verbatim) — and ``solve_calls`` how
     many solver/bound invocations that was, ``1`` for a batched group
     solve regardless of group count.  Every :class:`~repro.api.service
     .QueryService` route fills both, so observability layers (the

@@ -411,6 +411,77 @@ def cmd_telemetry_trace(args: argparse.Namespace) -> dict:
             "roots": len(roots)}
 
 
+def _load_json_document(path: str) -> dict:
+    """Read one JSON document (a dict) from ``path``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} does not hold a JSON object")
+    return payload
+
+
+def _latest_run(payload: dict, key: str | None = None) -> dict | None:
+    """Latest run of a harness trajectory (optionally carrying ``key``)."""
+    runs = payload.get("runs")
+    if not isinstance(runs, list):
+        return None
+    for run in reversed(runs):
+        if isinstance(run, dict) and (key is None or key in run):
+            return run
+    return None
+
+
+def cmd_optimizer_advise(args: argparse.Namespace) -> dict:
+    """Offline roll-up / caching advice from a harness or telemetry dump.
+
+    Accepts a ``BENCH_harness.json`` trajectory (latest run wins), a
+    single harness record, or a telemetry ``metrics.json`` dump, and
+    ranks where a materialized roll-up or the optimizer cache would
+    reclaim the most merge time.
+    """
+    from .optimizer import rank_harness_record, rank_metrics
+
+    payload = _load_json_document(args.source)
+    if "runs" in payload:
+        record = _latest_run(payload, "latency")
+        if record is None:
+            return {"source": args.source, "mode": "harness",
+                    "error": "trajectory has no runs with a latency section"}
+        advice = rank_harness_record(record, top=args.top)
+        return {"source": args.source, "mode": "harness",
+                "run_at": record.get("run_at"), "advice": advice}
+    if "latency" in payload:
+        return {"source": args.source, "mode": "harness",
+                "run_at": payload.get("run_at"),
+                "advice": rank_harness_record(payload, top=args.top)}
+    if "counters" in payload or "metrics" in payload:
+        return {"source": args.source, "mode": "metrics",
+                "advice": rank_metrics(payload, top=args.top)}
+    raise ValueError(
+        f"{args.source} is neither a harness trajectory/record "
+        "(latency) nor a telemetry metrics dump (counters)")
+
+
+def cmd_optimizer_stats(args: argparse.Namespace) -> dict:
+    """Show the optimizer block of a harness record or stats snapshot."""
+    payload = _load_json_document(args.source)
+    if "runs" in payload:
+        record = _latest_run(payload, "optimizer")
+        if record is None:
+            return {"source": args.source,
+                    "error": "trajectory has no runs with an optimizer "
+                             "section (set spec.optimizer = true)"}
+        return {"source": args.source, "run_at": record.get("run_at"),
+                "optimizer": record["optimizer"]}
+    if "optimizer" in payload:
+        return {"source": args.source, "run_at": payload.get("run_at"),
+                "optimizer": payload["optimizer"]}
+    if "cache" in payload and "profile" in payload:
+        return {"source": args.source, "optimizer": payload}
+    raise ValueError(
+        f"{args.source} carries no optimizer stats (expected a harness "
+        "record with an 'optimizer' section or an Optimizer.stats() dump)")
+
+
 def cmd_storage_inspect(args: argparse.Namespace) -> dict:
     """Dump one segment file's footer, keys, and per-tier geometry."""
     from .storage import open_segment
@@ -813,6 +884,29 @@ def build_parser() -> argparse.ArgumentParser:
                             help="trace to render (default: the trace of "
                                  "the longest root span)")
     tele_trace.set_defaults(handler=cmd_telemetry_trace)
+
+    optimizer = subcommands.add_parser(
+        "optimizer", help="multi-query optimizer tooling (repro.optimizer)")
+    optimizer_sub = optimizer.add_subparsers(dest="action", required=True)
+
+    opt_advise = optimizer_sub.add_parser(
+        "advise", help="rank roll-up/caching opportunities from a harness "
+                       "trajectory or telemetry metrics dump")
+    opt_advise.add_argument("source",
+                            help="BENCH_harness.json trajectory, single "
+                                 "harness record, or metrics.json dump")
+    opt_advise.add_argument("--top", type=int, default=5,
+                            help="number of recommendations (default 5)")
+    opt_advise.set_defaults(handler=cmd_optimizer_advise)
+
+    opt_stats = optimizer_sub.add_parser(
+        "stats", help="show the optimizer cache/profile/materialized block "
+                      "of a harness record")
+    opt_stats.add_argument("source",
+                           help="BENCH_harness.json trajectory (latest run "
+                                "with an optimizer section), harness "
+                                "record, or Optimizer.stats() JSON")
+    opt_stats.set_defaults(handler=cmd_optimizer_stats)
 
     analysis = subcommands.add_parser(
         "analysis", help="repo-invariant static analysis")

@@ -29,6 +29,7 @@ from ..api.backends import (Backend, GroupRollupResult, RollupResult,
 from ..api.spec import QuerySpec
 from ..core.errors import QueryError
 from ..druid.aggregators import MomentsSketchAggregator
+from ..optimizer.epochs import EPOCHS
 from .broker import DEFAULT_THREADS, ClusterBroker, ScatterProfile
 from .coordinator import ClusterCoordinator
 
@@ -52,6 +53,27 @@ class ClusterBackend(Backend):
                 cluster,
                 threads=threads if threads is not None else DEFAULT_THREADS)
         self.coordinator = self.broker.coordinator
+
+    def cache_target(self):
+        return self.coordinator
+
+    def scan_epoch(self, spec: QuerySpec) -> tuple:
+        """Per-shard flush-epoch vector for the shards this scan reads.
+
+        A point query (every routing dimension filtered to one value, no
+        group-by) touches exactly one shard, so its cached answer stays
+        valid across writes that land on other shards.  Anything broader
+        reads every shard and keys on the full epoch vector.
+        """
+        dims = tuple(self.coordinator.dimensions)
+        filters = spec.filters_dict()
+        if (spec.group_dimension is None and dims
+                and all(dim in filters for dim in dims)):
+            key = tuple(filters[dim] for dim in dims)
+            shards = (self.coordinator.shard_of_key(key),)
+        else:
+            shards = tuple(range(self.coordinator.num_shards))
+        return EPOCHS.epoch_vector(self.coordinator, shards)
 
     @property
     def supports_packed(self) -> bool:  # type: ignore[override]

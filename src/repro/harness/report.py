@@ -68,6 +68,18 @@ can see performance and accuracy *over time* instead of flying blind.
             "ram_bytes": int,        # gathered packed-store footprint
             "disk_over_ram": float   # the tiered-vs-RAM byte delta
           },
+          "optimizer": {             # additive (still schema /1):
+                                     # present when spec.optimizer
+            "cache": {"entries": int, "bytes": int, "budget_bytes": int,
+                      "hits": int, "misses": int, "hit_rate": float,
+                      "evictions": int, "stale_drops": int},
+            "profile": {"scans": int, "requests": int, "hits": int,
+                        "cold_merge_seconds": float},
+            "materialized": [        # advisor-pinned roll-ups
+              {"scan_key": [str], "groups": int, "bytes": int,
+               "refreshes": int}
+            ]
+          },
           "telemetry": {             # additive (still schema /1):
                                      # present when the in-process
                                      # telemetry plane was enabled

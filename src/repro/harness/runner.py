@@ -223,7 +223,11 @@ def run_experiment(spec: ExperimentSpec, trajectory_path=None,
                 prefix="repro-tiered-")
     sessions = _build_sessions(spec, storage_dir)
     oracle = ExactOracle("cell") if spec.oracle else None
-    service = QueryService()
+    optimizer = None
+    if spec.optimizer:
+        from ..optimizer import Optimizer
+        optimizer = Optimizer()
+    service = QueryService(optimizer=optimizer)
     latencies = LatencyAggregator()
     tallies = {name: _AccuracyTally(spec.epsilon) for name in spec.backends}
     # A cold fraction makes the tiered tier deliberately lossy, so it
@@ -357,6 +361,11 @@ def run_experiment(spec: ExperimentSpec, trajectory_path=None,
     }
     if storage_record is not None:
         record["storage"] = storage_record
+    if optimizer is not None:
+        # Additive "optimizer" key (see report.py): cross-batch cache
+        # behavior — a nonzero hit rate here rode the exact same ε and
+        # agreement gates as every cold answer above.
+        record["optimizer"] = optimizer.stats()
     if oracle is not None:
         record["accuracy"] = {"epsilon": spec.epsilon}
         for name, tally in tallies.items():

@@ -110,6 +110,12 @@ class ExperimentSpec:
         is a throwaway temp directory).  Requires ``"tiered"`` among
         ``backends``; the emitted record gains a ``storage`` section
         with disk-vs-RAM byte deltas.
+    optimizer:
+        Attach a :class:`~repro.optimizer.Optimizer` to the run's query
+        service: repeated scans are served from the epoch-invalidated
+        cache (bit-exact, so the oracle ε gate and cross-backend
+        agreement checks still apply verbatim), and the emitted record
+        gains an ``optimizer`` section with cache hit/eviction stats.
     """
 
     name: str = "experiment"
@@ -139,6 +145,7 @@ class ExperimentSpec:
     replication: int = 2
     granularity: float = 1.0
     storage: tuple = ()
+    optimizer: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "backends",
@@ -214,6 +221,7 @@ class ExperimentSpec:
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "oracle", bool(self.oracle))
         object.__setattr__(self, "paced", bool(self.paced))
+        object.__setattr__(self, "optimizer", bool(self.optimizer))
         storage = self.storage
         pairs = (tuple(storage.items()) if isinstance(storage, Mapping)
                  else tuple((str(k), v) for k, v in storage))

@@ -66,6 +66,9 @@ class WriteOutcome:
     alerts: list | None = None
     shards: int | None = None
     replicas: int | None = None
+    #: Shard ids a replicated write actually landed on (cluster backend);
+    #: None for unsharded targets.
+    touched_shards: tuple[int, ...] | None = None
 
 
 class WriteBackend(abc.ABC):
@@ -89,6 +92,19 @@ class WriteBackend(abc.ABC):
     def read_targets(self) -> dict[str, object]:
         """Query-service registrations for this backend (name -> engine)."""
         return {self.name: self.read_target()}
+
+    def invalidation_targets(self, batch: WriteBatch,
+                             outcome: WriteOutcome | None = None
+                             ) -> list[tuple[object, tuple | None]]:
+        """``(engine, shards)`` pairs whose flush epochs this write moved.
+
+        The session bumps :data:`repro.optimizer.EPOCHS` for each pair
+        after a successful write; ``shards=None`` bumps the engine's
+        whole-engine epoch, a tuple bumps only those shard counters
+        (the cluster backend's per-shard invalidation).  The default
+        invalidates the adapter's read target wholesale.
+        """
+        return [(self.read_target(), None)]
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +240,13 @@ class PackedStoreWriteBackend(WriteBackend):
         return PackedStoreBackend(self.store, keys=keys,
                                   dimensions=self.dimensions)
 
+    def invalidation_targets(self, batch: WriteBatch,
+                             outcome: WriteOutcome | None = None
+                             ) -> list[tuple[object, tuple | None]]:
+        # read_target() may wrap the store in a fresh adapter per call;
+        # the epoch clock lives on the long-lived store itself.
+        return [(self.store, None)]
+
 
 # ----------------------------------------------------------------------
 # Streaming window monitor
@@ -331,10 +354,31 @@ class ClusterWriteBackend(WriteBackend):
         return WriteOutcome(cells=cells,
                             pack_seconds=time.perf_counter() - start,
                             route_seconds=route_seconds,
-                            shards=int(shard_list.size), replicas=replicas)
+                            shards=int(shard_list.size), replicas=replicas,
+                            touched_shards=tuple(
+                                int(shard) for shard in shard_list))
 
     def read_target(self) -> ClusterCoordinator:
         return self.coordinator
+
+    def invalidation_targets(self, batch: WriteBatch,
+                             outcome: WriteOutcome | None = None
+                             ) -> list[tuple[object, tuple | None]]:
+        """Per-shard invalidation: only the shards this write landed on.
+
+        Cached point-query answers pinned to untouched shards stay
+        valid (:meth:`~repro.cluster.backend.ClusterBackend.scan_epoch`
+        keys them on exactly their shard's counter).
+        """
+        if outcome is not None and outcome.touched_shards is not None:
+            touched = outcome.touched_shards
+        elif batch.rows == 0:
+            touched = ()
+        else:
+            columns = [np.asarray(col) for col in batch.dims]
+            shard_list = np.unique(self.coordinator.shard_ids(columns))
+            touched = tuple(int(shard) for shard in shard_list)
+        return [(self.coordinator, touched)]
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +447,16 @@ class FanOutWriteBackend(WriteBackend):
 
     def read_target(self) -> object:
         return self.children[0].read_target()
+
+    def invalidation_targets(self, batch: WriteBatch,
+                             outcome: WriteOutcome | None = None
+                             ) -> list[tuple[object, tuple | None]]:
+        # The fan-out outcome aggregates children, so per-child shard
+        # detail is recomputed by each child from the batch itself.
+        targets: list[tuple[object, tuple | None]] = []
+        for child in self.children:
+            targets.extend(child.invalidation_targets(batch, None))
+        return targets
 
     def read_targets(self) -> dict[str, object]:
         targets: dict[str, object] = {}

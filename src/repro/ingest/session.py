@@ -24,10 +24,26 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..core.errors import BackpressureError, IngestError
+from ..optimizer.epochs import EPOCHS
 from ..telemetry import TELEMETRY
 from .backends import WriteBackend, as_write_backend
 from .buffer import WriteBuffer, make_batch
 from .spec import IngestReport, IngestSpec
+
+
+def _bump_epochs(backend: WriteBackend, batch, outcome) -> None:
+    """Advance the optimizer's flush-epoch clock for a landed write.
+
+    Every engine the write touched gets its counter bumped — whole
+    engine, or only the touched shards for replicated cluster writes —
+    which is what lazily invalidates the multi-query optimizer's cached
+    partials and responses.
+    """
+    for target, shards in backend.invalidation_targets(batch, outcome):
+        if shards is None:
+            EPOCHS.bump(target)
+        elif shards:
+            EPOCHS.bump_shards(target, shards)
 
 
 class IngestSession:
@@ -228,6 +244,7 @@ class IngestSession:
                         backend=self.backend.name).inc()
                 raise
             write_seconds = time.perf_counter() - start
+            _bump_epochs(self.backend, batch, outcome)
             report = IngestReport(
                 backend=self.backend.name, flush_index=self._flush_index,
                 rows=batch.rows, cells=outcome.cells, trigger=trigger,
@@ -319,6 +336,8 @@ def write_columns(target, values, dims: Sequence = (), timestamps=None,
     start = time.perf_counter()
     outcome = backend.write(batch)
     write_seconds = time.perf_counter() - start
+    if batch.rows:
+        _bump_epochs(backend, batch, outcome)
     return IngestReport(
         backend=backend.name, flush_index=0, rows=batch.rows,
         cells=outcome.cells, trigger="explicit",

@@ -71,6 +71,9 @@ class TieredBackend(Backend):
         self._epoch: int | None = None
         self._inner: PackedStoreBackend | None = None
 
+    def cache_target(self):
+        return self.store
+
     def _delegate(self) -> PackedStoreBackend:
         """The packed backend over the current epoch's gathered state."""
         if self._inner is None or self._epoch != self.store.epoch:
